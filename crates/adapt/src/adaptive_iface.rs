@@ -1,0 +1,406 @@
+//! Adaptive component interfaces (approach 10 of the paper's ten).
+//!
+//! "Adaptive component interfaces using dedicated programming languages
+//! can be used, for example, to modify structures and components, and to
+//! generate adaptive components. As an example to this approach, the
+//! programming language AJ introduces a meta-level protocol to observe and
+//! modify base level executions."
+//!
+//! [`AdaptiveComponent`] wraps a base component with an AJ-style meta
+//! protocol: **observation** (an execution trace plus watchpoints that
+//! fire on predicates) and **modification** (operation rewrites, disabled
+//! operations, response overrides). The adaptive interface is *generated*:
+//! [`AdaptiveComponent::provided`] reflects the rewrites applied to the
+//! base interface.
+
+use aas_core::component::{CallCtx, Component, StateSnapshot};
+use aas_core::error::{ComponentError, StateError};
+use aas_core::interface::{Interface, Signature};
+use aas_core::message::{Message, Value};
+use core::fmt;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One observed base-level execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// The operation as received (pre-rewrite).
+    pub received_op: String,
+    /// The operation actually executed (post-rewrite), or `None` when the
+    /// message was suppressed.
+    pub executed_op: Option<String>,
+    /// Whether the base handler succeeded.
+    pub ok: bool,
+}
+
+/// A watchpoint: fires (counts) whenever its predicate matches an incoming
+/// message.
+pub struct Watchpoint {
+    name: String,
+    predicate: Box<dyn Fn(&Message) -> bool + Send>,
+    hits: u64,
+}
+
+impl fmt::Debug for Watchpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Watchpoint")
+            .field("name", &self.name)
+            .field("hits", &self.hits)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Watchpoint {
+    /// A watchpoint named `name` firing when `predicate` matches.
+    #[must_use]
+    pub fn new<F>(name: impl Into<String>, predicate: F) -> Self
+    where
+        F: Fn(&Message) -> bool + Send + 'static,
+    {
+        Watchpoint {
+            name: name.into(),
+            predicate: Box::new(predicate),
+            hits: 0,
+        }
+    }
+
+    /// The watchpoint's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// How many times it fired.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+/// A component wrapped with the observe/modify meta protocol.
+///
+/// # Examples
+///
+/// ```
+/// use aas_adapt::adaptive_iface::AdaptiveComponent;
+/// use aas_core::component::{CallCtx, Component, EchoComponent};
+/// use aas_core::message::{Message, Value};
+/// use aas_sim::time::SimTime;
+///
+/// let mut ac = AdaptiveComponent::new(Box::new(EchoComponent::default()));
+/// // Generate an adapted interface: callers may use `ping` for `echo`.
+/// ac.rewrite_op("ping", "echo");
+/// assert!(ac.provided().provides("ping"));
+///
+/// let mut ctx = CallCtx::new(SimTime::ZERO, "ac");
+/// ac.on_message(&mut ctx, &Message::request("ping", Value::from(1))).unwrap();
+/// assert_eq!(ac.trace().len(), 1);
+/// assert_eq!(ac.trace()[0].executed_op.as_deref(), Some("echo"));
+/// ```
+pub struct AdaptiveComponent {
+    inner: Box<dyn Component>,
+    rewrites: BTreeMap<String, String>,
+    disabled: BTreeSet<String>,
+    overrides: BTreeMap<String, Value>,
+    trace: Vec<TraceEntry>,
+    trace_cap: usize,
+    watchpoints: Vec<Watchpoint>,
+}
+
+impl fmt::Debug for AdaptiveComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdaptiveComponent")
+            .field("inner", &self.inner.type_name())
+            .field("rewrites", &self.rewrites)
+            .field("disabled", &self.disabled)
+            .field("trace_len", &self.trace.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AdaptiveComponent {
+    /// Wraps `inner` with an initially-transparent meta protocol.
+    #[must_use]
+    pub fn new(inner: Box<dyn Component>) -> Self {
+        AdaptiveComponent {
+            inner,
+            rewrites: BTreeMap::new(),
+            disabled: BTreeSet::new(),
+            overrides: BTreeMap::new(),
+            trace: Vec::new(),
+            trace_cap: 1024,
+            watchpoints: Vec::new(),
+        }
+    }
+
+    // ----- modification (intercession) --------------------------------
+
+    /// Adds an operation alias: incoming `alias` executes as `target`.
+    pub fn rewrite_op(&mut self, alias: impl Into<String>, target: impl Into<String>) {
+        self.rewrites.insert(alias.into(), target.into());
+    }
+
+    /// Disables an operation: messages for it are suppressed (traced, not
+    /// executed).
+    pub fn disable_op(&mut self, op: impl Into<String>) {
+        self.disabled.insert(op.into());
+    }
+
+    /// Re-enables a disabled operation.
+    pub fn enable_op(&mut self, op: &str) {
+        self.disabled.remove(op);
+    }
+
+    /// Overrides responses for `op`: the base handler is bypassed and the
+    /// fixed value is replied instead.
+    pub fn override_response(&mut self, op: impl Into<String>, value: Value) {
+        self.overrides.insert(op.into(), value);
+    }
+
+    /// Clears a response override.
+    pub fn clear_override(&mut self, op: &str) {
+        self.overrides.remove(op);
+    }
+
+    // ----- observation (introspection) --------------------------------
+
+    /// Installs a watchpoint.
+    pub fn watch(&mut self, wp: Watchpoint) {
+        self.watchpoints.push(wp);
+    }
+
+    /// The installed watchpoints.
+    #[must_use]
+    pub fn watchpoints(&self) -> &[Watchpoint] {
+        &self.watchpoints
+    }
+
+    /// The execution trace (bounded; oldest entries drop first).
+    #[must_use]
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    fn record(&mut self, entry: TraceEntry) {
+        if self.trace.len() == self.trace_cap {
+            self.trace.remove(0);
+        }
+        self.trace.push(entry);
+    }
+}
+
+impl Component for AdaptiveComponent {
+    fn type_name(&self) -> &str {
+        self.inner.type_name()
+    }
+
+    fn provided(&self) -> Interface {
+        // Generate the adaptive interface: base ops minus disabled, plus
+        // aliases for every rewrite whose target exists.
+        let base = self.inner.provided();
+        let mut signatures: Vec<Signature> = base
+            .signatures
+            .iter()
+            .filter(|s| !self.disabled.contains(&s.name))
+            .cloned()
+            .collect();
+        for (alias, target) in &self.rewrites {
+            if let Some(sig) = base.signature(target) {
+                if !signatures.iter().any(|s| &s.name == alias) {
+                    signatures.push(Signature::new(
+                        alias.clone(),
+                        sig.params.clone(),
+                        sig.returns,
+                    ));
+                }
+            }
+        }
+        Interface {
+            name: base.name,
+            version: base.version + 1,
+            signatures,
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut CallCtx, msg: &Message) -> Result<(), ComponentError> {
+        for wp in &mut self.watchpoints {
+            if (wp.predicate)(msg) {
+                wp.hits += 1;
+            }
+        }
+        let received_op = msg.op.clone();
+        if self.disabled.contains(&received_op) {
+            self.record(TraceEntry {
+                received_op,
+                executed_op: None,
+                ok: true,
+            });
+            return Ok(());
+        }
+        if let Some(v) = self.overrides.get(&received_op) {
+            ctx.reply(v.clone());
+            self.record(TraceEntry {
+                received_op,
+                executed_op: None,
+                ok: true,
+            });
+            return Ok(());
+        }
+        let target = self
+            .rewrites
+            .get(&received_op)
+            .cloned()
+            .unwrap_or_else(|| received_op.clone());
+        let mut rewritten = msg.clone();
+        rewritten.op.clone_from(&target);
+        let result = self.inner.on_message(ctx, &rewritten);
+        self.record(TraceEntry {
+            received_op,
+            executed_op: Some(target),
+            ok: result.is_ok(),
+        });
+        result
+    }
+
+    fn on_timer(&mut self, ctx: &mut CallCtx, tag: u64) {
+        self.inner.on_timer(ctx, tag);
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        self.inner.snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &StateSnapshot) -> Result<(), StateError> {
+        self.inner.restore(snapshot)
+    }
+
+    fn work_cost(&self, msg: &Message) -> f64 {
+        // The meta level costs a little on every message.
+        self.inner.work_cost(msg) + 0.02
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aas_core::component::{EchoComponent, Effect};
+    use aas_sim::time::SimTime;
+
+    fn adaptive_echo() -> AdaptiveComponent {
+        AdaptiveComponent::new(Box::new(EchoComponent::default()))
+    }
+
+    fn call(ac: &mut AdaptiveComponent, op: &str) -> (Result<(), ComponentError>, Vec<Effect>) {
+        let mut ctx = CallCtx::new(SimTime::ZERO, "ac");
+        let r = ac.on_message(&mut ctx, &Message::request(op, Value::from(1)));
+        (r, ctx.into_effects())
+    }
+
+    #[test]
+    fn transparent_by_default() {
+        let mut ac = adaptive_echo();
+        let (r, effects) = call(&mut ac, "echo");
+        assert!(r.is_ok());
+        assert_eq!(effects.len(), 1);
+        assert_eq!(ac.trace().len(), 1);
+        assert_eq!(ac.trace()[0].executed_op.as_deref(), Some("echo"));
+    }
+
+    #[test]
+    fn rewrite_generates_adaptive_interface() {
+        let mut ac = adaptive_echo();
+        ac.rewrite_op("ping", "echo");
+        let iface = ac.provided();
+        assert!(iface.provides("ping"));
+        assert!(iface.provides("echo"));
+        assert_eq!(iface.version, 2, "generated interface bumps version");
+        let (r, effects) = call(&mut ac, "ping");
+        assert!(r.is_ok());
+        assert_eq!(effects.len(), 1, "inner echoed despite alias");
+    }
+
+    #[test]
+    fn disable_suppresses_without_error() {
+        let mut ac = adaptive_echo();
+        ac.disable_op("echo");
+        assert!(!ac.provided().provides("echo"));
+        let (r, effects) = call(&mut ac, "echo");
+        assert!(r.is_ok());
+        assert!(effects.is_empty(), "suppressed: no reply");
+        assert_eq!(ac.trace()[0].executed_op, None);
+        // Re-enable restores behaviour.
+        ac.enable_op("echo");
+        let (_, effects) = call(&mut ac, "echo");
+        assert_eq!(effects.len(), 1);
+    }
+
+    #[test]
+    fn override_bypasses_base_handler() {
+        let mut ac = adaptive_echo();
+        ac.override_response("echo", Value::from("canned"));
+        let (r, effects) = call(&mut ac, "echo");
+        assert!(r.is_ok());
+        assert_eq!(
+            effects,
+            vec![Effect::Reply {
+                value: Value::from("canned")
+            }]
+        );
+        ac.clear_override("echo");
+        let (_, effects) = call(&mut ac, "echo");
+        assert_eq!(
+            effects,
+            vec![Effect::Reply {
+                value: Value::from(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn watchpoints_count_matches() {
+        let mut ac = adaptive_echo();
+        ac.watch(Watchpoint::new("big-payload", |m| {
+            m.value.as_int().is_some_and(|i| i > 100)
+        }));
+        let mut ctx = CallCtx::new(SimTime::ZERO, "ac");
+        ac.on_message(&mut ctx, &Message::request("echo", Value::from(500)))
+            .unwrap();
+        ac.on_message(&mut ctx, &Message::request("echo", Value::from(5)))
+            .unwrap();
+        assert_eq!(ac.watchpoints()[0].hits(), 1);
+        assert_eq!(ac.watchpoints()[0].name(), "big-payload");
+    }
+
+    #[test]
+    fn trace_records_failures() {
+        let mut ac = adaptive_echo();
+        let (r, _) = call(&mut ac, "nonsense");
+        assert!(r.is_err());
+        assert!(!ac.trace()[0].ok);
+    }
+
+    #[test]
+    fn trace_is_bounded() {
+        let mut ac = adaptive_echo();
+        ac.trace_cap = 4;
+        for _ in 0..10 {
+            let _ = call(&mut ac, "echo");
+        }
+        assert_eq!(ac.trace().len(), 4);
+    }
+
+    #[test]
+    fn meta_level_adds_cost() {
+        let ac = adaptive_echo();
+        let plain = EchoComponent::default();
+        let m = Message::request("echo", Value::Null);
+        assert!(ac.work_cost(&m) > Component::work_cost(&plain, &m));
+    }
+
+    #[test]
+    fn snapshot_passes_through() {
+        let mut ac = adaptive_echo();
+        let _ = call(&mut ac, "echo");
+        let snap = ac.snapshot();
+        assert_eq!(snap.field("handled").and_then(Value::as_int), Some(1));
+    }
+}

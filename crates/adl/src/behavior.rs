@@ -1,0 +1,210 @@
+//! Wright-style behavioural compatibility checking for bindings.
+//!
+//! "Wright uses a formal framework for specifying component
+//! interconnections. The key idea … is the specification of architectural
+//! connectors in terms of a collection of protocols that characterize
+//! participant's roles in an interaction. They also show how
+//! interconnection compatibility can be checked based on semantic
+//! information."
+//!
+//! Here, each component *type* may publish an LTS protocol; every binding
+//! of a system is then checked by composing the caller's and the callee's
+//! protocols (and, when present, the connector's own collaboration
+//! automaton) and looking for reachable joint deadlocks.
+
+use crate::ast::SystemDecl;
+use aas_core::lts::{check_compatibility, CompatReport, Lts};
+use core::fmt;
+use std::collections::BTreeMap;
+
+/// One binding's compatibility verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BindingVerdict {
+    /// Rendered binding (`from -> via -> to`).
+    pub binding: String,
+    /// The caller/callee pair that was checked (type names).
+    pub pair: (String, String),
+    /// The product analysis, when both sides had protocols.
+    pub report: Option<CompatReport>,
+}
+
+impl BindingVerdict {
+    /// Whether the binding is compatible (vacuously true when either side
+    /// published no protocol).
+    #[must_use]
+    pub fn is_compatible(&self) -> bool {
+        self.report.as_ref().is_none_or(CompatReport::is_compatible)
+    }
+}
+
+impl fmt::Display for BindingVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.report {
+            None => write!(f, "{}: unchecked (no protocols)", self.binding),
+            Some(r) if r.is_compatible() => {
+                write!(f, "{}: compatible ({} joint states)", self.binding, r.product_states)
+            }
+            Some(r) => write!(
+                f,
+                "{}: INCOMPATIBLE, deadlocks at {:?}",
+                self.binding, r.deadlocks
+            ),
+        }
+    }
+}
+
+/// Checks every binding of `sys` against the protocols published for
+/// component *types* in `protocols`.
+#[must_use]
+pub fn check_bindings(
+    sys: &SystemDecl,
+    protocols: &BTreeMap<String, Lts>,
+) -> Vec<BindingVerdict> {
+    let type_of: BTreeMap<&str, &str> = sys
+        .components
+        .iter()
+        .map(|c| (c.name.as_str(), c.type_name.as_str()))
+        .collect();
+
+    let mut out = Vec::new();
+    for b in &sys.bindings {
+        let from_type = type_of.get(b.from.0.as_str()).copied().unwrap_or("?");
+        for (to_inst, _) in &b.to {
+            let to_type = type_of.get(to_inst.as_str()).copied().unwrap_or("?");
+            let report = match (protocols.get(from_type), protocols.get(to_type)) {
+                (Some(a), Some(z)) => Some(check_compatibility(a, z)),
+                _ => None,
+            };
+            out.push(BindingVerdict {
+                binding: format!("{}.{} -[{}]-> {}", b.from.0, b.from.1, b.via, to_inst),
+                pair: (from_type.to_owned(), to_type.to_owned()),
+                report,
+            });
+        }
+    }
+    out
+}
+
+/// Convenience: true if every checked binding is compatible.
+#[must_use]
+pub fn all_compatible(verdicts: &[BindingVerdict]) -> bool {
+    verdicts.iter().all(BindingVerdict::is_compatible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_system;
+    use aas_core::lts::Label;
+
+    fn sys() -> SystemDecl {
+        parse_system(
+            r#"
+            system S {
+                node n { }
+                component c : Client v1 on n
+                component s : Server v1 on n
+                connector w { policy direct; }
+                bind c.out -> w -> s.in;
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn client_proto() -> Lts {
+        let mut l = Lts::new("Client");
+        let idle = l.add_state("idle");
+        let wait = l.add_state("wait");
+        l.set_initial(idle);
+        l.mark_final(idle);
+        l.add_transition(idle, Label::send("req"), wait);
+        l.add_transition(wait, Label::recv("rep"), idle);
+        l
+    }
+
+    fn good_server_proto() -> Lts {
+        let mut l = Lts::new("Server");
+        let idle = l.add_state("idle");
+        let busy = l.add_state("busy");
+        l.set_initial(idle);
+        l.mark_final(idle);
+        l.add_transition(idle, Label::recv("req"), busy);
+        l.add_transition(busy, Label::send("rep"), idle);
+        l
+    }
+
+    fn bad_server_proto() -> Lts {
+        // Wants a handshake the client never sends, with shared alphabet.
+        let mut l = Lts::new("Server");
+        let hello = l.add_state("expect-hello");
+        let idle = l.add_state("idle");
+        let busy = l.add_state("busy");
+        l.set_initial(hello);
+        l.mark_final(idle);
+        l.add_transition(hello, Label::recv("hello"), idle);
+        l.add_transition(idle, Label::recv("req"), busy);
+        l.add_transition(busy, Label::send("rep"), idle);
+        // Make `hello` shared so the product can't just interleave it.
+        l.add_transition(busy, Label::send("hello"), busy);
+        l
+    }
+
+    #[test]
+    fn compatible_pair_passes() {
+        let mut protos = BTreeMap::new();
+        protos.insert("Client".to_owned(), client_proto());
+        protos.insert("Server".to_owned(), good_server_proto());
+        let verdicts = check_bindings(&sys(), &protos);
+        assert_eq!(verdicts.len(), 1);
+        assert!(verdicts[0].is_compatible());
+        assert!(all_compatible(&verdicts));
+        assert!(verdicts[0].to_string().contains("compatible"));
+    }
+
+    #[test]
+    fn incompatible_pair_flagged() {
+        let mut client = client_proto();
+        // Client also knows `hello` (but never from its initial flow).
+        let dead = client.add_state("never");
+        client.add_transition(dead, Label::recv("hello"), dead);
+        let mut protos = BTreeMap::new();
+        protos.insert("Client".to_owned(), client);
+        protos.insert("Server".to_owned(), bad_server_proto());
+        let verdicts = check_bindings(&sys(), &protos);
+        assert!(!verdicts[0].is_compatible());
+        assert!(!all_compatible(&verdicts));
+        assert!(verdicts[0].to_string().contains("INCOMPATIBLE"));
+    }
+
+    #[test]
+    fn missing_protocols_are_unchecked_but_pass() {
+        let verdicts = check_bindings(&sys(), &BTreeMap::new());
+        assert_eq!(verdicts.len(), 1);
+        assert!(verdicts[0].report.is_none());
+        assert!(verdicts[0].is_compatible());
+        assert!(verdicts[0].to_string().contains("unchecked"));
+    }
+
+    #[test]
+    fn multi_target_bindings_yield_multiple_verdicts() {
+        let sys = parse_system(
+            r#"
+            system S {
+                node n { }
+                component c : Client v1 on n
+                component s1 : Server v1 on n
+                component s2 : Server v1 on n
+                connector w { policy broadcast; }
+                bind c.out -> w -> s1.in, s2.in;
+            }
+            "#,
+        )
+        .unwrap();
+        let mut protos = BTreeMap::new();
+        protos.insert("Client".to_owned(), client_proto());
+        protos.insert("Server".to_owned(), good_server_proto());
+        let verdicts = check_bindings(&sys, &protos);
+        assert_eq!(verdicts.len(), 2);
+    }
+}

@@ -1,0 +1,350 @@
+//! Lexer for the AAS architecture description language.
+
+use core::fmt;
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(u64),
+    /// Float literal (also produced for ints followed by `.`).
+    Float(f64),
+    /// String literal (double-quoted).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `->`
+    Arrow,
+    /// `--`
+    DashDash,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::LBrace => f.write_str("{"),
+            TokenKind::RBrace => f.write_str("}"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Colon => f.write_str(":"),
+            TokenKind::Semi => f.write_str(";"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::Arrow => f.write_str("->"),
+            TokenKind::DashDash => f.write_str("--"),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Ge => f.write_str(">="),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A lexical error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Offending character or message.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes ADL source. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unknown characters or unterminated strings.
+///
+/// # Examples
+///
+/// ```
+/// use aas_adl::lexer::{tokenize, TokenKind};
+///
+/// let tokens = tokenize("system S { }").unwrap();
+/// assert_eq!(tokens[0].kind, TokenKind::Ident("system".into()));
+/// assert_eq!(tokens.last().unwrap().kind, TokenKind::Eof);
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => push!(TokenKind::LBrace, 1),
+            '}' => push!(TokenKind::RBrace, 1),
+            '(' => push!(TokenKind::LParen, 1),
+            ')' => push!(TokenKind::RParen, 1),
+            ':' => push!(TokenKind::Colon, 1),
+            ';' => push!(TokenKind::Semi, 1),
+            ',' => push!(TokenKind::Comma, 1),
+            '.' => push!(TokenKind::Dot, 1),
+            '=' => push!(TokenKind::Eq, 1),
+            '>' if chars.get(i + 1) == Some(&'=') => push!(TokenKind::Ge, 2),
+            '<' if chars.get(i + 1) == Some(&'=') => push!(TokenKind::Le, 2),
+            '>' => push!(TokenKind::Gt, 1),
+            '<' => push!(TokenKind::Lt, 1),
+            '-' if chars.get(i + 1) == Some(&'>') => push!(TokenKind::Arrow, 2),
+            '-' if chars.get(i + 1) == Some(&'-') => push!(TokenKind::DashDash, 2),
+            '"' => {
+                let start_col = col;
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match chars.get(j) {
+                        None | Some('\n') => {
+                            return Err(LexError {
+                                message: "unterminated string".into(),
+                                line,
+                                col: start_col,
+                            })
+                        }
+                        Some('"') => break,
+                        Some(ch) => {
+                            s.push(*ch);
+                            j += 1;
+                        }
+                    }
+                }
+                let len = j - i + 1;
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                    col,
+                });
+                i += len;
+                col += len;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                let mut j = i;
+                if chars[j] == '-' {
+                    j += 1;
+                }
+                let mut is_float = false;
+                while j < chars.len()
+                    && (chars[j].is_ascii_digit()
+                        || chars[j] == '.'
+                        || chars[j] == 'e'
+                        || chars[j] == 'E'
+                        || ((chars[j] == '+' || chars[j] == '-')
+                            && matches!(chars.get(j - 1), Some('e') | Some('E'))))
+                {
+                    if chars[j] == '.' || chars[j] == 'e' || chars[j] == 'E' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let len = j - start;
+                if is_float || text.starts_with('-') {
+                    let v: f64 = text.parse().map_err(|_| LexError {
+                        message: format!("bad number `{text}`"),
+                        line,
+                        col,
+                    })?;
+                    push!(TokenKind::Float(v), len);
+                } else {
+                    let v: u64 = text.parse().map_err(|_| LexError {
+                        message: format!("bad integer `{text}`"),
+                        line,
+                        col,
+                    })?;
+                    push!(TokenKind::Int(v), len);
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let len = j - start;
+                push!(TokenKind::Ident(text), len);
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line,
+                    col,
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("a . b -> c ; { } ( ) : , = -- > < >= <="),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("b".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("c".into()),
+                TokenKind::Semi,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Colon,
+                TokenKind::Comma,
+                TokenKind::Eq,
+                TokenKind::DashDash,
+                TokenKind::Gt,
+                TokenKind::Lt,
+                TokenKind::Ge,
+                TokenKind::Le,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_ints_and_floats() {
+        assert_eq!(
+            kinds("42 2.5 1e6 -3.5"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(2.5),
+                TokenKind::Float(1e6),
+                TokenKind::Float(-3.5),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        assert_eq!(
+            kinds("\"hello world\" // comment to end\nx"),
+            vec![
+                TokenKind::Str("hello world".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = tokenize("\"oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unknown_character_errors() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert!(err.to_string().contains('@'));
+        assert_eq!(err.col, 3);
+    }
+}

@@ -1,0 +1,191 @@
+//! Runtime semantics for the FLO/C temporal operators.
+//!
+//! The paper (citing FLO/C) lists five interaction-rule operators:
+//! *impliesLater, implies, impliesBefore, permittedIf,* and *waitUntil*.
+//! [`RuleMonitor`] gives each an executable meaning over the periodic
+//! observation stream:
+//!
+//! - **implies** — fire whenever the condition holds (level-triggered).
+//! - **implies_later** — fire one observation *after* the condition held
+//!   (delayed action).
+//! - **implies_before** — anticipatory: fire when the metric is within 80%
+//!   of the threshold, before the condition itself becomes true.
+//! - **permitted_if** — the action is permitted only while the condition
+//!   holds; [`RuleMonitor::permits`] gates externally requested actions.
+//! - **wait_until** — armed immediately; fires once on the first
+//!   false→true transition, then disarms until re-armed.
+
+use crate::ast::{Cmp, TemporalOp};
+
+/// Executable monitor for one rule.
+#[derive(Debug, Clone)]
+pub struct RuleMonitor {
+    op: TemporalOp,
+    cmp: Cmp,
+    threshold: f64,
+    prev_condition: bool,
+    pending_later: bool,
+    armed: bool,
+    fires: u64,
+}
+
+impl RuleMonitor {
+    /// A monitor for `metric CMP threshold` under `op`.
+    #[must_use]
+    pub fn new(op: TemporalOp, cmp: Cmp, threshold: f64) -> Self {
+        RuleMonitor {
+            op,
+            cmp,
+            threshold,
+            prev_condition: false,
+            pending_later: false,
+            armed: true,
+            fires: 0,
+        }
+    }
+
+    /// The operator.
+    #[must_use]
+    pub fn op(&self) -> TemporalOp {
+        self.op
+    }
+
+    /// Times the monitor has fired.
+    #[must_use]
+    pub fn fires(&self) -> u64 {
+        self.fires
+    }
+
+    /// Whether the raw condition holds for `value`.
+    #[must_use]
+    pub fn condition(&self, value: f64) -> bool {
+        self.cmp.eval(value, self.threshold)
+    }
+
+    /// For `permitted_if`: whether the action is currently permitted.
+    /// Always true for other operators (they decide *when*, not *whether*).
+    #[must_use]
+    pub fn permits(&self, value: f64) -> bool {
+        match self.op {
+            TemporalOp::PermittedIf => self.condition(value),
+            _ => true,
+        }
+    }
+
+    /// Feeds one observation; returns `true` if the rule's action should
+    /// fire now.
+    pub fn step(&mut self, value: f64) -> bool {
+        let cond = self.condition(value);
+        let fire = match self.op {
+            TemporalOp::Implies | TemporalOp::PermittedIf => cond,
+            TemporalOp::ImpliesLater => {
+                let fire = self.pending_later;
+                self.pending_later = cond;
+                fire
+            }
+            TemporalOp::ImpliesBefore => {
+                // Anticipate: fire when within 80% of the threshold, in the
+                // direction of the comparison.
+                let anticipatory_threshold = match self.cmp {
+                    Cmp::Gt | Cmp::Ge => self.threshold * 0.8,
+                    Cmp::Lt | Cmp::Le => self.threshold * 1.25,
+                };
+                let approaching = match self.cmp {
+                    Cmp::Gt | Cmp::Ge => value >= anticipatory_threshold,
+                    Cmp::Lt | Cmp::Le => value <= anticipatory_threshold,
+                };
+                approaching && !cond
+            }
+            TemporalOp::WaitUntil => {
+                let rising = cond && !self.prev_condition;
+                if rising && self.armed {
+                    self.armed = false;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        self.prev_condition = cond;
+        if fire {
+            self.fires += 1;
+        }
+        fire
+    }
+
+    /// Re-arms a `wait_until` monitor so it can fire again.
+    pub fn rearm(&mut self) {
+        self.armed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implies_is_level_triggered() {
+        let mut m = RuleMonitor::new(TemporalOp::Implies, Cmp::Gt, 10.0);
+        assert!(!m.step(5.0));
+        assert!(m.step(15.0));
+        assert!(m.step(15.0), "fires every tick while true");
+        assert!(!m.step(5.0));
+        assert_eq!(m.fires(), 2);
+    }
+
+    #[test]
+    fn implies_later_fires_one_tick_late() {
+        let mut m = RuleMonitor::new(TemporalOp::ImpliesLater, Cmp::Gt, 10.0);
+        assert!(!m.step(15.0), "condition true now, action later");
+        assert!(m.step(5.0), "fires for the previous tick");
+        assert!(!m.step(5.0));
+    }
+
+    #[test]
+    fn implies_before_anticipates_upward() {
+        let mut m = RuleMonitor::new(TemporalOp::ImpliesBefore, Cmp::Gt, 100.0);
+        assert!(!m.step(50.0), "far below");
+        assert!(m.step(85.0), "within 80%: act before the violation");
+        assert!(!m.step(150.0), "condition already true: too late to act before");
+    }
+
+    #[test]
+    fn implies_before_anticipates_downward() {
+        let mut m = RuleMonitor::new(TemporalOp::ImpliesBefore, Cmp::Lt, 10.0);
+        assert!(!m.step(50.0));
+        assert!(m.step(12.0), "within 1.25x of a lower threshold");
+        assert!(!m.step(5.0), "already below");
+    }
+
+    #[test]
+    fn permitted_if_gates_actions() {
+        let mut m = RuleMonitor::new(TemporalOp::PermittedIf, Cmp::Le, 0.5);
+        assert!(m.permits(0.3));
+        assert!(!m.permits(0.9));
+        // And it also fires while permitted (standing permission executed).
+        assert!(m.step(0.3));
+        assert!(!m.step(0.9));
+    }
+
+    #[test]
+    fn wait_until_fires_once_on_rising_edge() {
+        let mut m = RuleMonitor::new(TemporalOp::WaitUntil, Cmp::Gt, 10.0);
+        assert!(!m.step(5.0));
+        assert!(m.step(20.0), "rising edge");
+        assert!(!m.step(25.0), "still true, no refire");
+        assert!(!m.step(5.0));
+        assert!(!m.step(20.0), "disarmed: second edge ignored");
+        m.rearm();
+        assert!(!m.step(25.0), "no edge: was already true");
+        assert!(!m.step(5.0));
+        assert!(m.step(30.0), "re-armed and edge");
+        assert_eq!(m.fires(), 2);
+    }
+
+    #[test]
+    fn other_ops_always_permit() {
+        let m = RuleMonitor::new(TemporalOp::Implies, Cmp::Gt, 1.0);
+        assert!(m.permits(0.0));
+        assert!(m.permits(100.0));
+    }
+}

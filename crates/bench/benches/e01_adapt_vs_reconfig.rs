@@ -1,0 +1,26 @@
+//! E1 bench target: prints the adaptation-vs-reconfiguration table and
+//! micro-measures the two switch primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", aas_bench::e01::run());
+
+    c.bench_function("e01/connector_interchange", |b| {
+        let mut rt = aas_bench::common::pipeline_runtime(3, 1);
+        let mut flip = false;
+        b.iter(|| {
+            let spec = if flip {
+                aas_core::connector::ConnectorSpec::direct("s2")
+                    .with_aspect(aas_core::connector::ConnectorAspect::Metering)
+            } else {
+                aas_core::connector::ConnectorSpec::direct("s2")
+            };
+            flip = !flip;
+            rt.adapt_connector("s2", spec).unwrap();
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E2 bench target: prints the connector-overhead table and micro-measures
+//! connector mediation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", aas_bench::e02::run());
+
+    use aas_core::connector::{Connector, ConnectorAspect, ConnectorId, ConnectorSpec};
+    use aas_core::message::{Message, Value};
+    use aas_sim::time::SimTime;
+    let mut bare = Connector::new(ConnectorId(0), ConnectorSpec::direct("w"));
+    let mut loaded = Connector::new(
+        ConnectorId(1),
+        ConnectorSpec::direct("w")
+            .with_aspect(ConnectorAspect::Logging)
+            .with_aspect(ConnectorAspect::Metering)
+            .with_aspect(ConnectorAspect::Encryption { cost: 0.1 }),
+    );
+    let msg = Message::request("op", Value::from(1));
+    c.bench_function("e02/mediate_bare", |b| {
+        b.iter(|| bare.mediate(&msg, SimTime::ZERO, 1));
+    });
+    c.bench_function("e02/mediate_aspect_chain", |b| {
+        b.iter(|| loaded.mediate(&msg, SimTime::ZERO, 1));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E3 bench target: prints the channel-preservation table and
+//! micro-measures kernel channel block/unblock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", aas_bench::e03::run());
+
+    use aas_sim::kernel::Kernel;
+    use aas_sim::network::Topology;
+    use aas_sim::time::SimDuration;
+    let topo = Topology::clique(2, 100.0, SimDuration::from_millis(1), 1e6);
+    let mut k: Kernel<u32> = Kernel::new(topo, 1);
+    let ids: Vec<_> = k.topology().node_ids().collect();
+    let ch = k.open_channel(ids[0], ids[1]);
+    c.bench_function("e03/block_unblock_channel", |b| {
+        b.iter(|| {
+            k.block_channel(ch);
+            k.unblock_channel(ch);
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E4 bench target: prints the QoS-control table and micro-measures one
+//! fuzzy inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", aas_bench::e04::run());
+
+    use aas_control::fuzzy::FuzzyController;
+    use aas_control::Controller;
+    let mut f = FuzzyController::standard(80.0, 400.0, 12.0);
+    c.bench_function("e04/fuzzy_inference", |b| {
+        let mut e = 0.0;
+        b.iter(|| {
+            e += 1.0;
+            f.update(e % 80.0 - 40.0, 0.25)
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

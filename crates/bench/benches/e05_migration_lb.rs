@@ -1,0 +1,19 @@
+//! E5 bench target: prints the load-balancing table and micro-measures
+//! routing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", aas_bench::e05::run());
+
+    use aas_sim::network::Topology;
+    use aas_sim::node::NodeId;
+    use aas_sim::time::SimDuration;
+    let topo = Topology::clique(16, 100.0, SimDuration::from_millis(1), 1e6);
+    c.bench_function("e05/route_16_node_clique", |b| {
+        b.iter(|| topo.route(NodeId(0), NodeId(15), 1000));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

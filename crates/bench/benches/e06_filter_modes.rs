@@ -1,0 +1,29 @@
+//! E6 bench target: prints the filter-mode table and micro-measures
+//! pipeline evaluation in both modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", aas_bench::e06::run());
+
+    use aas_adapt::filters::{FilterMode, FilterPipeline, RejectFilter};
+    use aas_core::message::{Message, Value};
+    for (label, mode) in [
+        ("e06/inlined_depth4", FilterMode::Inlined),
+        ("e06/runtime_depth4", FilterMode::Runtime),
+    ] {
+        let mut p = FilterPipeline::new(mode);
+        for _ in 0..4 {
+            p.attach(Box::new(RejectFilter::new(["never_*"]))).unwrap();
+        }
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                let mut m = Message::request("op", Value::from(1));
+                p.run(&mut m)
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

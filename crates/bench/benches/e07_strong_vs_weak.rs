@@ -1,0 +1,21 @@
+//! E7 bench target: prints the strong-vs-weak table and micro-measures
+//! snapshot capture/restore.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", aas_bench::e07::run());
+
+    use aas_bench::common::Worker;
+    use aas_core::component::Component;
+    let w = Worker::new(1.0, 100_000);
+    c.bench_function("e07/snapshot_100kB", |b| b.iter(|| w.snapshot()));
+    let snap = w.snapshot();
+    c.bench_function("e07/restore_100kB", |b| {
+        let mut target = Worker::new(1.0, 0);
+        b.iter(|| target.restore(&snap).unwrap());
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

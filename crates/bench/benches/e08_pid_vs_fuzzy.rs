@@ -1,0 +1,29 @@
+//! E8 bench target: prints the controller-comparison table and
+//! micro-measures both controllers' update step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", aas_bench::e08::run());
+
+    use aas_control::{Controller, FuzzyController, PidController};
+    let mut pid = PidController::new(2.0, 0.8, 0.1);
+    let mut fuzzy = FuzzyController::standard(20.0, 60.0, 30.0);
+    c.bench_function("e08/pid_update", |b| {
+        let mut e = 0.0_f64;
+        b.iter(|| {
+            e += 0.1;
+            pid.update(e.sin() * 10.0, 0.1)
+        });
+    });
+    c.bench_function("e08/fuzzy_update", |b| {
+        let mut e = 0.0_f64;
+        b.iter(|| {
+            e += 0.1;
+            fuzzy.update(e.sin() * 10.0, 0.1)
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

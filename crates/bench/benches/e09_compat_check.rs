@@ -1,0 +1,18 @@
+//! E9 bench target: prints the semantic-checking table and micro-measures
+//! LTS product construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", aas_bench::e09::run());
+
+    use aas_core::lts::{check_compatibility, synthetic_ring, Dir};
+    let a = synthetic_ring("a", 64, Dir::Send);
+    let b = synthetic_ring("b", 64, Dir::Recv);
+    c.bench_function("e09/compat_64_state_rings", |bch| {
+        bch.iter(|| check_compatibility(&a, &b));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! E10 bench target: prints the availability table and micro-measures the
+//! runtime's introspection snapshot (the RAML meta-protocol's per-tick
+//! cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", aas_bench::e10::run());
+
+    let rt = aas_bench::common::pipeline_runtime(4, 2);
+    c.bench_function("e10/raml_observe", |b| b.iter(|| rt.observe()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,189 @@
+//! QoS monitors: smoothed metric tracking plus contract compliance.
+//!
+//! The paper's quality-aware middleware "adopt\[s\] control architecture to
+//! monitor and improve the quality of service parameters"; a [`QosMonitor`]
+//! is the *monitor* leg of that loop, combining a smoothed signal (EWMA),
+//! distribution statistics and a [`ComplianceTracker`].
+
+use crate::qos::{ComplianceTracker, QosContract};
+use aas_sim::stats::{Ewma, Histogram};
+use aas_sim::time::SimTime;
+use core::fmt;
+use std::collections::BTreeMap;
+
+/// Monitors one metric against one contract.
+///
+/// # Examples
+///
+/// ```
+/// use aas_control::monitor::QosMonitor;
+/// use aas_control::qos::QosContract;
+/// use aas_sim::time::SimTime;
+///
+/// let mut m = QosMonitor::new(QosContract::upper("latency_ms", 100.0), 0.3);
+/// m.observe(SimTime::from_secs(1), 80.0);
+/// m.observe(SimTime::from_secs(2), 120.0); // violation begins here
+/// m.observe(SimTime::from_secs(3), 120.0);
+/// assert!(m.smoothed() > 80.0);
+/// assert!(m.compliance().violation_fraction() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QosMonitor {
+    ewma: Ewma,
+    histogram: Histogram,
+    compliance: ComplianceTracker,
+    samples: u64,
+}
+
+impl QosMonitor {
+    /// A monitor for `contract` with EWMA smoothing factor `alpha`.
+    #[must_use]
+    pub fn new(contract: QosContract, alpha: f64) -> Self {
+        QosMonitor {
+            ewma: Ewma::new(alpha),
+            histogram: Histogram::new(),
+            compliance: ComplianceTracker::new(contract),
+            samples: 0,
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, at: SimTime, value: f64) {
+        self.ewma.observe(value);
+        self.histogram.observe(value);
+        self.compliance.sample(at, value);
+        self.samples += 1;
+    }
+
+    /// The EWMA-smoothed value.
+    #[must_use]
+    pub fn smoothed(&self) -> f64 {
+        self.ewma.value()
+    }
+
+    /// Quantile of all observations.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.histogram.quantile(q)
+    }
+
+    /// The compliance tracker.
+    #[must_use]
+    pub fn compliance(&self) -> &ComplianceTracker {
+        &self.compliance
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// A named collection of monitors.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorSet {
+    monitors: BTreeMap<String, QosMonitor>,
+}
+
+impl MonitorSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        MonitorSet::default()
+    }
+
+    /// Installs a monitor for `contract`, keyed by its metric name.
+    pub fn install(&mut self, contract: QosContract, alpha: f64) {
+        self.monitors
+            .insert(contract.metric.clone(), QosMonitor::new(contract, alpha));
+    }
+
+    /// Feeds an observation to the monitor for `metric`, if installed.
+    pub fn observe(&mut self, metric: &str, at: SimTime, value: f64) {
+        if let Some(m) = self.monitors.get_mut(metric) {
+            m.observe(at, value);
+        }
+    }
+
+    /// The monitor for `metric`.
+    #[must_use]
+    pub fn get(&self, metric: &str) -> Option<&QosMonitor> {
+        self.monitors.get(metric)
+    }
+
+    /// Iterates over `(metric, monitor)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &QosMonitor)> {
+        self.monitors.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl fmt::Display for MonitorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, m) in &self.monitors {
+            writeln!(
+                f,
+                "{name}: smoothed={:.3} p99={:.3} violation={:.1}%",
+                m.smoothed(),
+                m.quantile(0.99),
+                m.compliance().violation_fraction() * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_tracks_signal_and_compliance() {
+        let mut m = QosMonitor::new(QosContract::upper("lat", 50.0), 0.5);
+        for s in 0..10 {
+            m.observe(SimTime::from_secs(s), 40.0);
+        }
+        assert!((m.smoothed() - 40.0).abs() < 1.0);
+        assert_eq!(m.compliance().violation_fraction(), 0.0);
+        for s in 10..20 {
+            m.observe(SimTime::from_secs(s), 200.0);
+        }
+        assert!(m.smoothed() > 150.0);
+        assert!(m.compliance().violation_fraction() > 0.3);
+        assert_eq!(m.samples(), 20);
+    }
+
+    #[test]
+    fn quantiles_come_from_all_samples() {
+        let mut m = QosMonitor::new(QosContract::upper("lat", 1e9), 0.1);
+        for i in 1..=100 {
+            m.observe(SimTime::from_secs(i), f64::from(i as u32));
+        }
+        let p50 = m.quantile(0.5);
+        assert!((p50 - 50.0).abs() < 5.0, "p50 {p50}");
+    }
+
+    #[test]
+    fn monitor_set_routes_by_metric() {
+        let mut set = MonitorSet::new();
+        set.install(QosContract::upper("lat", 100.0), 0.2);
+        set.install(QosContract::lower("fps", 24.0), 0.2);
+        set.observe("lat", SimTime::from_secs(1), 50.0);
+        set.observe("fps", SimTime::from_secs(1), 30.0);
+        set.observe("unknown", SimTime::from_secs(1), 1.0); // ignored
+        assert_eq!(set.get("lat").unwrap().samples(), 1);
+        assert_eq!(set.get("fps").unwrap().samples(), 1);
+        assert!(set.get("unknown").is_none());
+        assert_eq!(set.iter().count(), 2);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut set = MonitorSet::new();
+        set.install(QosContract::upper("lat", 100.0), 0.2);
+        set.observe("lat", SimTime::from_secs(1), 42.0);
+        let text = set.to_string();
+        assert!(text.contains("lat:"));
+        assert!(text.contains("smoothed=42"));
+    }
+}

@@ -1,0 +1,165 @@
+//! The implementation registry: the runtime's "code repository".
+//!
+//! Rust cannot safely load code at run time, so the registry plays the role
+//! a class loader or code server plays in the paper's Java/CORBA world:
+//! implementations are registered up front under `(type_name, version)`
+//! keys, and *implementation modification* swaps a live instance to another
+//! registered implementation — dynamic binding through trait objects, the
+//! same observable semantics as dynamic dispatch in AspectJ-style runtime
+//! interchange.
+
+use crate::component::Component;
+use crate::error::RuntimeError;
+use crate::message::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Construction properties passed to a component factory.
+pub type Props = BTreeMap<String, Value>;
+
+type Factory = Box<dyn Fn(&Props) -> Box<dyn Component> + Send + Sync>;
+
+/// A registry of component implementations keyed by type name and version.
+///
+/// # Examples
+///
+/// ```
+/// use aas_core::registry::ImplementationRegistry;
+/// use aas_core::component::EchoComponent;
+///
+/// let mut reg = ImplementationRegistry::new();
+/// reg.register("Echo", 1, |_props| Box::new(EchoComponent::default()));
+/// let inst = reg.instantiate("Echo", 1, &Default::default()).unwrap();
+/// assert_eq!(inst.type_name(), "Echo");
+/// assert_eq!(reg.latest_version("Echo"), Some(1));
+/// ```
+#[derive(Default)]
+pub struct ImplementationRegistry {
+    factories: BTreeMap<(String, u32), Factory>,
+}
+
+impl fmt::Debug for ImplementationRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ImplementationRegistry")
+            .field("entries", &self.factories.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl ImplementationRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        ImplementationRegistry::default()
+    }
+
+    /// Registers a factory for `(type_name, version)`. Re-registering the
+    /// same key replaces the factory (like deploying a rebuilt artifact).
+    pub fn register<F>(&mut self, type_name: impl Into<String>, version: u32, factory: F)
+    where
+        F: Fn(&Props) -> Box<dyn Component> + Send + Sync + 'static,
+    {
+        self.factories
+            .insert((type_name.into(), version), Box::new(factory));
+    }
+
+    /// Whether `(type_name, version)` is registered.
+    #[must_use]
+    pub fn contains(&self, type_name: &str, version: u32) -> bool {
+        self.factories
+            .contains_key(&(type_name.to_owned(), version))
+    }
+
+    /// The highest registered version of `type_name`, if any.
+    #[must_use]
+    pub fn latest_version(&self, type_name: &str) -> Option<u32> {
+        self.factories
+            .keys()
+            .filter(|(n, _)| n == type_name)
+            .map(|(_, v)| *v)
+            .max()
+    }
+
+    /// Instantiates `(type_name, version)` with `props`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownImplementation`] if not registered.
+    pub fn instantiate(
+        &self,
+        type_name: &str,
+        version: u32,
+        props: &Props,
+    ) -> Result<Box<dyn Component>, RuntimeError> {
+        let factory = self
+            .factories
+            .get(&(type_name.to_owned(), version))
+            .ok_or_else(|| RuntimeError::UnknownImplementation {
+                type_name: type_name.to_owned(),
+                version,
+            })?;
+        Ok(factory(props))
+    }
+
+    /// All registered `(type_name, version)` keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.factories.keys().map(|(n, v)| (n.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::EchoComponent;
+
+    #[test]
+    fn register_and_instantiate() {
+        let mut reg = ImplementationRegistry::new();
+        reg.register("Echo", 1, |_| Box::new(EchoComponent::default()));
+        assert!(reg.contains("Echo", 1));
+        assert!(!reg.contains("Echo", 2));
+        let c = reg.instantiate("Echo", 1, &Props::new()).unwrap();
+        assert_eq!(c.type_name(), "Echo");
+    }
+
+    #[test]
+    fn unknown_implementation_errors() {
+        let reg = ImplementationRegistry::new();
+        let err = reg.instantiate("Nope", 1, &Props::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::UnknownImplementation { type_name, version: 1 } if type_name == "Nope"
+        ));
+    }
+
+    #[test]
+    fn latest_version_picks_max() {
+        let mut reg = ImplementationRegistry::new();
+        reg.register("X", 1, |_| Box::new(EchoComponent::default()));
+        reg.register("X", 3, |_| Box::new(EchoComponent::default()));
+        reg.register("X", 2, |_| Box::new(EchoComponent::default()));
+        assert_eq!(reg.latest_version("X"), Some(3));
+        assert_eq!(reg.latest_version("Y"), None);
+    }
+
+    #[test]
+    fn props_reach_factory() {
+        let mut reg = ImplementationRegistry::new();
+        reg.register("Echo", 1, |props| {
+            assert_eq!(props.get("mode").and_then(Value::as_str), Some("fast"));
+            Box::new(EchoComponent::default())
+        });
+        let mut props = Props::new();
+        props.insert("mode".into(), Value::from("fast"));
+        let _ = reg.instantiate("Echo", 1, &props).unwrap();
+    }
+
+    #[test]
+    fn keys_iterate_in_order() {
+        let mut reg = ImplementationRegistry::new();
+        reg.register("B", 1, |_| Box::new(EchoComponent::default()));
+        reg.register("A", 2, |_| Box::new(EchoComponent::default()));
+        let keys: Vec<(String, u32)> = reg.keys().map(|(n, v)| (n.to_owned(), v)).collect();
+        assert_eq!(keys, vec![("A".into(), 2), ("B".into(), 1)]);
+    }
+}

@@ -1,0 +1,2388 @@
+//! The component runtime: hosts instances, mediates messages through
+//! connectors, and executes reconfiguration plans with quiescence, channel
+//! blocking and state transfer.
+//!
+//! The runtime drives an [`aas_sim::Kernel`] event loop. Application
+//! messages travel as envelopes over kernel channels; processing cost
+//! is charged to the hosting node (so overload produces queueing delay);
+//! and the RAML meta-level observes the whole system on a periodic
+//! meta-protocol tick.
+//!
+//! # Reconfiguration protocol
+//!
+//! Executing a [`ReconfigPlan`] follows the Polylith-style sequence the
+//! paper describes — "waiting to reach a reconfiguration point; and
+//! blocking communication channels (to manage the messages in transit)
+//! while the module context is encoded and a new module is created":
+//!
+//! 1. **Block** all channels delivering into the target component; mark it
+//!    `Quiescing`. In-transit and newly sent messages are *held*, not lost.
+//! 2. **Drain**: in-flight handler jobs finish; when none remain the
+//!    component is `Quiescent` (the reconfiguration point).
+//! 3. **Mutate**: swap the implementation (weak or strong), migrate the
+//!    instance (state snapshot travels the network), or remove it.
+//! 4. **Unblock**: held messages are released in order; the component
+//!    returns to `Active`. The block→unblock window is recorded as the
+//!    component's *blackout*.
+//!
+//! Failures abort the plan: the current action is rolled back, blocked
+//! channels are released, and the report carries the failure. Committed
+//! earlier actions stay committed (prefix-commit semantics; see DESIGN.md).
+
+use crate::component::{CallCtx, Component, ComponentId, Effect, Lifecycle};
+use crate::config::{BindingDecl, ComponentDecl, Configuration};
+use crate::connector::{Connector, ConnectorId, ConnectorSpec};
+use crate::error::RuntimeError;
+use crate::message::{Message, MessageId, MessageKind, SequenceTracker};
+use crate::raml::{
+    ComponentObservation, ConnectorObservation, Intercession, NodeObservation, Raml,
+    SystemSnapshot,
+};
+use crate::reconfig::{
+    ReconfigAction, ReconfigId, ReconfigPlan, ReconfigReport, StateTransfer,
+};
+use crate::registry::{ImplementationRegistry, Props};
+use aas_sim::channel::ChannelId;
+use aas_sim::fault::FaultKind;
+use aas_sim::kernel::{Fired, Kernel};
+use aas_sim::network::Topology;
+use aas_sim::node::NodeId;
+use aas_sim::stats::{Histogram, Summary};
+use aas_sim::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+/// The sender name used for injected (external) workload messages.
+pub const EXTERNAL: &str = "external";
+
+/// A message in transit between two component instances.
+#[derive(Debug, Clone)]
+struct Envelope {
+    msg: Message,
+    to_instance: String,
+    /// Target port name; carried for diagnostics and future port-level
+    /// dispatch.
+    #[allow(dead_code)]
+    to_port: String,
+    extra_cost: f64,
+    /// Connector that mediated this copy, if any.
+    #[allow(dead_code)]
+    via: Option<String>,
+}
+
+/// Noteworthy happenings surfaced to the embedding application.
+#[derive(Debug, Clone)]
+pub enum RuntimeEvent {
+    /// A reconfiguration finished (successfully or not).
+    ReconfigFinished(ReconfigReport),
+    /// A connector's protocol was violated by a message.
+    ProtocolViolation {
+        /// The connector.
+        connector: String,
+        /// Rendered violation.
+        details: String,
+    },
+    /// A component handler returned an error.
+    HandlerError {
+        /// The instance.
+        instance: String,
+        /// Rendered error.
+        details: String,
+    },
+    /// A message could not be routed or delivered.
+    Dropped {
+        /// Why.
+        reason: String,
+    },
+    /// A fault was injected into the topology.
+    Fault(FaultKind),
+    /// A RAML rule asked for a notification.
+    Notify(String),
+}
+
+/// Aggregated runtime metrics.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeMetrics {
+    /// End-to-end latency of every delivered message (milliseconds).
+    pub e2e_latency: Histogram,
+    /// Request→reply round-trip times (milliseconds).
+    pub rtt: Histogram,
+    /// Messages that found no binding at their source port.
+    pub unrouted: u64,
+    /// Messages dropped in transit or at delivery.
+    pub dropped: u64,
+    /// Handler errors.
+    pub handler_errors: u64,
+}
+
+#[derive(Debug)]
+struct Instance {
+    #[allow(dead_code)]
+    id: ComponentId,
+    node: NodeId,
+    type_name: String,
+    version: u32,
+    props: Props,
+    component: Box<dyn Component>,
+    lifecycle: Lifecycle,
+    inflight: u32,
+    processed: u64,
+    errors: u64,
+    latency: Histogram,
+    tracker: SequenceTracker,
+    custom: BTreeMap<String, Summary>,
+    blocked_at: Option<SimTime>,
+}
+
+#[derive(Debug)]
+struct BindingRt {
+    decl: BindingDecl,
+    channels: Vec<ChannelId>,
+}
+
+#[derive(Debug)]
+enum TimerPurpose {
+    JobDone { instance: String, envelope: Box<Envelope> },
+    ComponentTimer { instance: String, tag: u64 },
+    RamlTick,
+    TransferDone,
+    Inject { target: String, message: Box<Message> },
+}
+
+#[derive(Debug)]
+enum ExecPhase {
+    Idle,
+    AwaitQuiesce { action: ReconfigAction },
+    AwaitTransfer { action: ReconfigAction },
+}
+
+#[derive(Debug)]
+struct ReconfigExec {
+    id: ReconfigId,
+    actions: VecDeque<ReconfigAction>,
+    started_at: SimTime,
+    phase: ExecPhase,
+    blackouts: BTreeMap<String, SimDuration>,
+    messages_held: u64,
+    state_bytes: u64,
+    applied: usize,
+}
+
+/// The component runtime.
+///
+/// # Examples
+///
+/// ```
+/// use aas_core::component::EchoComponent;
+/// use aas_core::config::{BindingDecl, ComponentDecl, Configuration};
+/// use aas_core::connector::ConnectorSpec;
+/// use aas_core::message::{Message, Value};
+/// use aas_core::registry::ImplementationRegistry;
+/// use aas_core::runtime::Runtime;
+/// use aas_sim::network::Topology;
+/// use aas_sim::node::NodeId;
+/// use aas_sim::time::{SimDuration, SimTime};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut registry = ImplementationRegistry::new();
+/// registry.register("Echo", 1, |_| Box::new(EchoComponent::default()));
+///
+/// let topo = Topology::clique(2, 100.0, SimDuration::from_millis(1), 1e6);
+/// let mut rt = Runtime::new(topo, 42, registry);
+///
+/// let mut cfg = Configuration::new();
+/// cfg.component("echo", ComponentDecl::new("Echo", 1, NodeId(0)));
+/// rt.deploy(&cfg)?;
+///
+/// rt.inject("echo", Message::request("echo", Value::from("hi")))?;
+/// rt.run_until(SimTime::from_secs(1));
+/// let replies = rt.take_outbox();
+/// assert_eq!(replies.len(), 1);
+/// assert_eq!(replies[0].1.value, Value::from("hi"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Runtime {
+    kernel: Kernel<Envelope>,
+    registry: ImplementationRegistry,
+    instances: BTreeMap<String, Instance>,
+    connectors: BTreeMap<String, Connector>,
+    bindings: BTreeMap<(String, String), BindingRt>,
+    external_channels: BTreeMap<String, ChannelId>,
+    reply_channels: BTreeMap<(String, String), ChannelId>,
+    timers: BTreeMap<u64, TimerPurpose>,
+    flow_seq: BTreeMap<(String, String), u64>,
+    pending_requests: BTreeMap<MessageId, (SimTime, String)>,
+    next_msg_id: u64,
+    next_component_id: u64,
+    next_connector_id: u64,
+    next_reconfig_id: u64,
+    pending_connector_swaps: BTreeMap<String, ConnectorSpec>,
+    active_reconfig: Option<ReconfigExec>,
+    queued_plans: VecDeque<(ReconfigId, ReconfigPlan)>,
+    reports: Vec<ReconfigReport>,
+    raml: Option<Raml>,
+    events: Vec<(SimTime, RuntimeEvent)>,
+    outbox: Vec<(SimTime, Message)>,
+    metrics: RuntimeMetrics,
+}
+
+impl Runtime {
+    /// Creates a runtime over `topology`, seeded for determinism, with the
+    /// given implementation registry.
+    #[must_use]
+    pub fn new(topology: Topology, seed: u64, registry: ImplementationRegistry) -> Self {
+        Runtime {
+            kernel: Kernel::new(topology, seed),
+            registry,
+            instances: BTreeMap::new(),
+            connectors: BTreeMap::new(),
+            bindings: BTreeMap::new(),
+            external_channels: BTreeMap::new(),
+            reply_channels: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            flow_seq: BTreeMap::new(),
+            pending_requests: BTreeMap::new(),
+            next_msg_id: 1,
+            next_component_id: 1,
+            next_connector_id: 1,
+            next_reconfig_id: 1,
+            pending_connector_swaps: BTreeMap::new(),
+            active_reconfig: None,
+            queued_plans: VecDeque::new(),
+            reports: Vec::new(),
+            raml: None,
+            events: Vec::new(),
+            outbox: Vec::new(),
+            metrics: RuntimeMetrics::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deployment and structure
+    // ------------------------------------------------------------------
+
+    /// Deploys a full configuration onto an empty runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RuntimeError`] hit while instantiating
+    /// components, connectors or bindings.
+    pub fn deploy(&mut self, config: &Configuration) -> Result<(), RuntimeError> {
+        for spec in config.connectors() {
+            self.add_connector(spec.clone())?;
+        }
+        for name in config.component_names().map(str::to_owned).collect::<Vec<_>>() {
+            let decl = config.component_decl(&name).expect("declared").clone();
+            self.add_component(&name, &decl)?;
+        }
+        for b in config.bindings() {
+            self.add_binding(b.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Instantiates and hosts a new component.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names, unknown implementations or bad nodes.
+    pub fn add_component(
+        &mut self,
+        name: &str,
+        decl: &ComponentDecl,
+    ) -> Result<(), RuntimeError> {
+        if self.instances.contains_key(name) {
+            return Err(RuntimeError::DuplicateComponent(name.to_owned()));
+        }
+        if (decl.node.0 as usize) >= self.kernel.topology().node_count() {
+            return Err(RuntimeError::NodeUnavailable(decl.node.to_string()));
+        }
+        let component = self
+            .registry
+            .instantiate(&decl.type_name, decl.version, &decl.props)?;
+        let id = ComponentId(self.next_component_id);
+        self.next_component_id += 1;
+        self.instances.insert(
+            name.to_owned(),
+            Instance {
+                id,
+                node: decl.node,
+                type_name: decl.type_name.clone(),
+                version: decl.version,
+                props: decl.props.clone(),
+                component,
+                lifecycle: Lifecycle::Active,
+                inflight: 0,
+                processed: 0,
+                errors: 0,
+                latency: Histogram::new(),
+                tracker: SequenceTracker::new(),
+                custom: BTreeMap::new(),
+                blocked_at: None,
+            },
+        );
+        let ch = self.kernel.open_channel(decl.node, decl.node);
+        self.external_channels.insert(name.to_owned(), ch);
+        Ok(())
+    }
+
+    /// Creates a connector instance.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a connector with this name already exists.
+    pub fn add_connector(&mut self, spec: ConnectorSpec) -> Result<(), RuntimeError> {
+        if self.connectors.contains_key(&spec.name) {
+            return Err(RuntimeError::InvalidConfiguration(format!(
+                "connector `{}` already exists",
+                spec.name
+            )));
+        }
+        let id = ConnectorId(self.next_connector_id);
+        self.next_connector_id += 1;
+        self.connectors
+            .insert(spec.name.clone(), Connector::new(id, spec));
+        Ok(())
+    }
+
+    /// Wires a binding, opening one kernel channel per target.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any referenced component or the connector is missing, or
+    /// the source port is already bound.
+    pub fn add_binding(&mut self, decl: BindingDecl) -> Result<(), RuntimeError> {
+        let src = self
+            .instances
+            .get(&decl.from.0)
+            .ok_or_else(|| RuntimeError::UnknownComponent(decl.from.0.clone()))?;
+        if !self.connectors.contains_key(&decl.via) {
+            return Err(RuntimeError::UnknownConnector(decl.via.clone()));
+        }
+        if self.bindings.contains_key(&decl.from) {
+            return Err(RuntimeError::InvalidConfiguration(format!(
+                "port `{}.{}` already bound",
+                decl.from.0, decl.from.1
+            )));
+        }
+        let src_node = src.node;
+        // Composition-correctness analysis (Wright-style): if both the
+        // connector and a participating component publish protocols, their
+        // synchronous product must be deadlock-free.
+        let conn_protocol = self
+            .connectors
+            .get(&decl.via)
+            .and_then(|c| c.spec().protocol.clone());
+        let mut channels = Vec::with_capacity(decl.to.len());
+        for (inst, _) in &decl.to {
+            let dst = self
+                .instances
+                .get(inst)
+                .ok_or_else(|| RuntimeError::UnknownComponent(inst.clone()))?;
+            if let (Some(conn_proto), Some(comp_proto)) =
+                (conn_protocol.as_ref(), dst.component.protocol())
+            {
+                let report = crate::lts::check_compatibility(conn_proto, &comp_proto);
+                if !report.is_compatible() {
+                    return Err(RuntimeError::IncompatibleProtocols {
+                        connector: decl.via.clone(),
+                        component: inst.clone(),
+                        deadlocks: report.deadlocks,
+                    });
+                }
+            }
+            channels.push(self.kernel.open_channel(src_node, dst.node));
+        }
+        self.bindings
+            .insert(decl.from.clone(), BindingRt { decl, channels });
+        Ok(())
+    }
+
+    /// Removes the binding rooted at `(instance, port)`, closing its
+    /// channels.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no such binding exists.
+    pub fn remove_binding(&mut self, from: &(String, String)) -> Result<(), RuntimeError> {
+        let b = self.bindings.remove(from).ok_or_else(|| {
+            RuntimeError::InvalidConfiguration(format!(
+                "no binding at `{}.{}`",
+                from.0, from.1
+            ))
+        })?;
+        for ch in b.channels {
+            self.kernel.close_channel(ch);
+        }
+        Ok(())
+    }
+
+    /// Interchanges a connector in place — the **lightweight adaptation
+    /// path**: no quiescence, no channel blocking; the new connector
+    /// mediates the very next message. Bindings are preserved.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connector does not exist.
+    pub fn adapt_connector(&mut self, name: &str, spec: ConnectorSpec) -> Result<(), RuntimeError> {
+        if !self.connectors.contains_key(name) {
+            return Err(RuntimeError::UnknownConnector(name.to_owned()));
+        }
+        let id = ConnectorId(self.next_connector_id);
+        self.next_connector_id += 1;
+        self.connectors
+            .insert(name.to_owned(), Connector::new(id, spec));
+        Ok(())
+    }
+
+    /// Interchanges a connector **at its next quiescent point**: if the
+    /// connector's collaboration automaton is mid-interaction (e.g. a
+    /// request awaiting its reply), the swap is deferred until the
+    /// automaton returns to a final state — "connectors are modeled using
+    /// first order automata, which defines the states of collaboration",
+    /// and those states gate safe interchange. Connectors without a
+    /// protocol are always quiescent and swap immediately.
+    ///
+    /// A later pending swap for the same connector replaces an earlier one.
+    /// Returns `true` if the swap applied immediately, `false` if deferred.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connector does not exist.
+    pub fn adapt_connector_at_quiescence(
+        &mut self,
+        name: &str,
+        spec: ConnectorSpec,
+    ) -> Result<bool, RuntimeError> {
+        let conn = self
+            .connectors
+            .get(name)
+            .ok_or_else(|| RuntimeError::UnknownConnector(name.to_owned()))?;
+        if conn.at_quiescent_point() {
+            self.adapt_connector(name, spec)?;
+            Ok(true)
+        } else {
+            self.pending_connector_swaps.insert(name.to_owned(), spec);
+            Ok(false)
+        }
+    }
+
+    /// Connectors with a deferred interchange waiting for quiescence.
+    pub fn pending_connector_swaps(&self) -> impl Iterator<Item = &str> {
+        self.pending_connector_swaps.keys().map(String::as_str)
+    }
+
+    // ------------------------------------------------------------------
+    // Workload
+    // ------------------------------------------------------------------
+
+    /// Injects an external message to `target` right now, returning the
+    /// assigned message id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `target` does not exist.
+    pub fn inject(&mut self, target: &str, msg: Message) -> Result<MessageId, RuntimeError> {
+        let ch = *self
+            .external_channels
+            .get(target)
+            .ok_or_else(|| RuntimeError::UnknownComponent(target.to_owned()))?;
+        let env = self.finalize(EXTERNAL, target, "in", msg, None);
+        let id = env.msg.id;
+        let size = env.msg.wire_size();
+        if !self.kernel.send(ch, env, size).is_sent() {
+            self.metrics.dropped += 1;
+        }
+        Ok(id)
+    }
+
+    /// Schedules an external message for `delay` from now.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `target` does not exist.
+    pub fn inject_after(
+        &mut self,
+        delay: SimDuration,
+        target: &str,
+        msg: Message,
+    ) -> Result<(), RuntimeError> {
+        if !self.instances.contains_key(target) {
+            return Err(RuntimeError::UnknownComponent(target.to_owned()));
+        }
+        let tag = self.kernel.set_timer(delay);
+        self.timers.insert(
+            tag,
+            TimerPurpose::Inject {
+                target: target.to_owned(),
+                message: Box::new(msg),
+            },
+        );
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // RAML
+    // ------------------------------------------------------------------
+
+    /// Installs the meta-level and starts its periodic observation tick.
+    pub fn install_raml(&mut self, raml: Raml) {
+        let interval = raml.interval();
+        self.raml = Some(raml);
+        let tag = self.kernel.set_timer(interval);
+        self.timers.insert(tag, TimerPurpose::RamlTick);
+    }
+
+    /// The installed meta-level, if any.
+    #[must_use]
+    pub fn raml(&self) -> Option<&Raml> {
+        self.raml.as_ref()
+    }
+
+    /// Takes a full introspection snapshot right now.
+    #[must_use]
+    pub fn observe(&self) -> SystemSnapshot {
+        let now = self.kernel.now();
+        let components = self
+            .instances
+            .iter()
+            .map(|(name, inst)| ComponentObservation {
+                name: name.clone(),
+                type_name: inst.type_name.clone(),
+                version: inst.version,
+                node: inst.node,
+                lifecycle: inst.lifecycle,
+                inflight: inst.inflight,
+                processed: inst.processed,
+                errors: inst.errors,
+                mean_latency_ms: inst.latency.mean(),
+                p99_latency_ms: inst.latency.quantile(0.99),
+                seq_anomalies: inst.tracker.gaps() + inst.tracker.duplicates(),
+                custom: inst
+                    .custom
+                    .iter()
+                    .map(|(k, s)| (k.clone(), s.mean()))
+                    .collect(),
+            })
+            .collect();
+        let nodes = self
+            .kernel
+            .topology()
+            .nodes()
+            .map(|n| NodeObservation {
+                id: n.id(),
+                up: n.is_up(),
+                utilization: n.utilization(now),
+                backlog_ms: n.backlog(now).as_micros() as f64 / 1e3,
+                effective_capacity: n.effective_capacity(now),
+                hosted: self
+                    .instances
+                    .iter()
+                    .filter(|(_, i)| i.node == n.id())
+                    .map(|(name, _)| name.clone())
+                    .collect(),
+            })
+            .collect();
+        let connectors = self
+            .connectors
+            .iter()
+            .map(|(name, c)| ConnectorObservation {
+                name: name.clone(),
+                mediated: c.stats().mediated,
+                violations: c.stats().violations,
+                seq_anomalies: c.stats().seq_anomalies,
+                mean_metered_latency_ms: c.stats().metered_latency.mean(),
+            })
+            .collect();
+        SystemSnapshot {
+            at: now,
+            components,
+            nodes,
+            connectors,
+            delivered: self.kernel.counters().get("delivered"),
+            dropped: self.kernel.counters().get("dropped") + self.metrics.dropped,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reconfiguration
+    // ------------------------------------------------------------------
+
+    /// Submits a reconfiguration plan. Plans run one at a time; extra
+    /// submissions queue in order. Returns the plan's id; the outcome
+    /// arrives later as a [`RuntimeEvent::ReconfigFinished`] event and in
+    /// [`Runtime::reports`].
+    pub fn request_reconfig(&mut self, plan: ReconfigPlan) -> ReconfigId {
+        let id = ReconfigId(self.next_reconfig_id);
+        self.next_reconfig_id += 1;
+        if self.active_reconfig.is_some() {
+            self.queued_plans.push_back((id, plan));
+        } else {
+            self.start_exec(id, plan);
+            self.advance_reconfig();
+        }
+        id
+    }
+
+    /// Completed reconfiguration reports, oldest first.
+    #[must_use]
+    pub fn reports(&self) -> &[ReconfigReport] {
+        &self.reports
+    }
+
+    /// Whether a reconfiguration is currently executing.
+    #[must_use]
+    pub fn reconfig_in_progress(&self) -> bool {
+        self.active_reconfig.is_some()
+    }
+
+    fn start_exec(&mut self, id: ReconfigId, plan: ReconfigPlan) {
+        self.active_reconfig = Some(ReconfigExec {
+            id,
+            actions: plan.into_actions().into(),
+            started_at: self.kernel.now(),
+            phase: ExecPhase::Idle,
+            blackouts: BTreeMap::new(),
+            messages_held: 0,
+            state_bytes: 0,
+            applied: 0,
+        });
+    }
+
+    fn advance_reconfig(&mut self) {
+        loop {
+            let Some(exec) = self.active_reconfig.as_mut() else {
+                // Start the next queued plan, if any.
+                let Some((id, plan)) = self.queued_plans.pop_front() else {
+                    return;
+                };
+                self.start_exec(id, plan);
+                continue;
+            };
+            let phase = std::mem::replace(&mut exec.phase, ExecPhase::Idle);
+            match phase {
+                ExecPhase::Idle => {
+                    let Some(action) = self
+                        .active_reconfig
+                        .as_mut()
+                        .and_then(|e| e.actions.pop_front())
+                    else {
+                        self.finish_reconfig(true, None);
+                        continue;
+                    };
+                    if let Some(target) = action.quiesce_target().map(str::to_owned) {
+                        if !self.instances.contains_key(&target) {
+                            self.finish_reconfig(
+                                false,
+                                Some(format!("unknown component `{target}`")),
+                            );
+                            continue;
+                        }
+                        self.begin_quiesce(&target);
+                        self.active_reconfig.as_mut().expect("active").phase =
+                            ExecPhase::AwaitQuiesce { action };
+                        if self.instances[&target].lifecycle == Lifecycle::Quiescent {
+                            continue; // already drained: mutate immediately
+                        }
+                        return; // wait for in-flight jobs to finish
+                    }
+                    match self.apply_instant(&action) {
+                        Ok(()) => {
+                            self.active_reconfig.as_mut().expect("active").applied += 1;
+                        }
+                        Err(e) => {
+                            self.finish_reconfig(false, Some(format!("{action}: {e}")));
+                        }
+                    }
+                }
+                ExecPhase::AwaitQuiesce { action } => {
+                    let target = action
+                        .quiesce_target()
+                        .expect("quiesce action")
+                        .to_owned();
+                    if self
+                        .instances
+                        .get(&target)
+                        .is_some_and(|i| i.lifecycle != Lifecycle::Quiescent)
+                    {
+                        // Not drained yet; keep waiting.
+                        self.active_reconfig.as_mut().expect("active").phase =
+                            ExecPhase::AwaitQuiesce { action };
+                        return;
+                    }
+                    match self.start_mutation(&action) {
+                        Ok(Some(delay)) => {
+                            let tag = self.kernel.set_timer(delay);
+                            self.timers.insert(tag, TimerPurpose::TransferDone);
+                            self.active_reconfig.as_mut().expect("active").phase =
+                                ExecPhase::AwaitTransfer { action };
+                            return;
+                        }
+                        Ok(None) => {
+                            self.unblock_component(&target);
+                            let exec = self.active_reconfig.as_mut().expect("active");
+                            exec.applied += 1;
+                        }
+                        Err(e) => {
+                            self.unblock_component(&target);
+                            self.finish_reconfig(false, Some(format!("{action}: {e}")));
+                        }
+                    }
+                }
+                ExecPhase::AwaitTransfer { action } => {
+                    // Re-entered from the TransferDone timer.
+                    let target = action
+                        .quiesce_target()
+                        .expect("transfer action")
+                        .to_owned();
+                    self.complete_transfer(&action);
+                    self.unblock_component(&target);
+                    let exec = self.active_reconfig.as_mut().expect("active");
+                    exec.applied += 1;
+                }
+            }
+        }
+    }
+
+    fn begin_quiesce(&mut self, name: &str) {
+        let now = self.kernel.now();
+        for ch in self.inbound_channels(name) {
+            self.kernel.block_channel(ch);
+        }
+        if let Some(inst) = self.instances.get_mut(name) {
+            if inst.lifecycle == Lifecycle::Active {
+                inst.lifecycle = if inst.inflight == 0 {
+                    Lifecycle::Quiescent
+                } else {
+                    Lifecycle::Quiescing
+                };
+                inst.blocked_at = Some(now);
+            }
+        }
+    }
+
+    fn unblock_component(&mut self, name: &str) {
+        let now = self.kernel.now();
+        let channels = self.inbound_channels(name);
+        let mut held = 0;
+        for ch in &channels {
+            held += self.kernel.channel_stats(*ch).held;
+        }
+        for ch in channels {
+            self.kernel.unblock_channel(ch);
+        }
+        if let Some(inst) = self.instances.get_mut(name) {
+            inst.lifecycle = Lifecycle::Active;
+            if let Some(at) = inst.blocked_at.take() {
+                let blackout = now.saturating_since(at);
+                if let Some(exec) = self.active_reconfig.as_mut() {
+                    let entry = exec
+                        .blackouts
+                        .entry(name.to_owned())
+                        .or_insert(SimDuration::ZERO);
+                    *entry = (*entry).max(blackout);
+                    exec.messages_held += held;
+                }
+            }
+        }
+    }
+
+    fn inbound_channels(&self, name: &str) -> Vec<ChannelId> {
+        let mut out = Vec::new();
+        if let Some(ch) = self.external_channels.get(name) {
+            out.push(*ch);
+        }
+        for ((_, to), ch) in &self.reply_channels {
+            if to == name {
+                out.push(*ch);
+            }
+        }
+        for b in self.bindings.values() {
+            for (idx, (inst, _)) in b.decl.to.iter().enumerate() {
+                if inst == name {
+                    out.push(b.channels[idx]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Starts the mutation for a quiesce-requiring action. Returns
+    /// `Ok(Some(delay))` when a simulated state transfer must elapse before
+    /// the component can be unblocked, `Ok(None)` when the mutation is
+    /// complete.
+    fn start_mutation(&mut self, action: &ReconfigAction) -> Result<Option<SimDuration>, RuntimeError> {
+        match action {
+            ReconfigAction::SwapImplementation {
+                name,
+                type_name,
+                version,
+                transfer,
+            } => {
+                let inst = self
+                    .instances
+                    .get(name)
+                    .ok_or_else(|| RuntimeError::UnknownComponent(name.clone()))?;
+                let mut replacement =
+                    self.registry
+                        .instantiate(type_name, *version, &inst.props)?;
+                let old_iface = inst.component.provided();
+                let new_iface = replacement.provided();
+                let violations = new_iface.check_backward_compatible(&old_iface);
+                if !violations.is_empty() {
+                    return Err(RuntimeError::IncompatibleInterface {
+                        component: name.clone(),
+                        reason: violations
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join("; "),
+                    });
+                }
+                let mut transferred = 0;
+                let delay = match transfer {
+                    StateTransfer::None => None,
+                    StateTransfer::Snapshot => {
+                        let snap = inst.component.snapshot();
+                        transferred = snap.transfer_size();
+                        replacement.restore(&snap).map_err(|e| {
+                            RuntimeError::ReconfigFailed {
+                                action: action.kind().to_owned(),
+                                reason: e.to_string(),
+                            }
+                        })?;
+                        // Encoding + decoding the context costs node time.
+                        let cost = 0.5 + transferred as f64 / 1e6;
+                        let node = inst.node;
+                        self.kernel.run_job(node, cost)
+                    }
+                };
+                let inst = self.instances.get_mut(name).expect("checked");
+                inst.component = replacement;
+                inst.type_name = type_name.clone();
+                inst.version = *version;
+                if let Some(exec) = self.active_reconfig.as_mut() {
+                    exec.state_bytes += transferred;
+                }
+                Ok(delay)
+            }
+            ReconfigAction::Migrate { name, to } => {
+                if (to.0 as usize) >= self.kernel.topology().node_count()
+                    || !self.kernel.topology().node(*to).is_up()
+                {
+                    return Err(RuntimeError::NodeUnavailable(to.to_string()));
+                }
+                let inst = self
+                    .instances
+                    .get(name)
+                    .ok_or_else(|| RuntimeError::UnknownComponent(name.clone()))?;
+                let from_node = inst.node;
+                let snap = inst.component.snapshot();
+                let bytes = snap.transfer_size();
+                let transit = if self.kernel.topology().node(from_node).is_up() {
+                    self.kernel
+                        .topology()
+                        .route(from_node, *to, bytes)
+                        .ok_or_else(|| RuntimeError::NodeUnavailable(to.to_string()))?
+                        .transit
+                } else {
+                    // Recovery migration: the source node is down, so the
+                    // state comes from its last checkpoint, restored at the
+                    // destination (cost charged to the destination node).
+                    let cost = 1.0 + bytes as f64 / 1e6;
+                    self.kernel
+                        .run_job(*to, cost)
+                        .ok_or_else(|| RuntimeError::NodeUnavailable(to.to_string()))?
+                };
+                // Commit the move now; the transfer delay elapses before the
+                // component is unblocked at its new home.
+                let inst = self.instances.get_mut(name).expect("checked");
+                inst.node = *to;
+                self.rehome_channels(name, *to);
+                if let Some(exec) = self.active_reconfig.as_mut() {
+                    exec.state_bytes += bytes;
+                }
+                Ok(Some(transit))
+            }
+            ReconfigAction::RemoveComponent { name } => {
+                let used_by_binding = self.bindings.values().any(|b| {
+                    b.decl.from.0 == *name || b.decl.to.iter().any(|(i, _)| i == name)
+                });
+                if used_by_binding {
+                    return Err(RuntimeError::ReconfigFailed {
+                        action: action.kind().to_owned(),
+                        reason: format!("component `{name}` still has bindings"),
+                    });
+                }
+                if let Some(ch) = self.external_channels.remove(name) {
+                    self.kernel.close_channel(ch);
+                }
+                let reply_chs: Vec<(String, String)> = self
+                    .reply_channels
+                    .keys()
+                    .filter(|(a, b)| a == name || b == name)
+                    .cloned()
+                    .collect();
+                for key in reply_chs {
+                    if let Some(ch) = self.reply_channels.remove(&key) {
+                        self.kernel.close_channel(ch);
+                    }
+                }
+                self.instances.remove(name);
+                Ok(None)
+            }
+            other => Err(RuntimeError::ReconfigFailed {
+                action: other.kind().to_owned(),
+                reason: "not a quiesce-requiring action".into(),
+            }),
+        }
+    }
+
+    fn complete_transfer(&mut self, _action: &ReconfigAction) {
+        // The mutation itself was committed in `start_mutation`; the
+        // transfer delay has now elapsed. Nothing further to do.
+    }
+
+    /// Rebinds every channel touching `name` to its new node.
+    fn rehome_channels(&mut self, name: &str, node: NodeId) {
+        if let Some(ch) = self.external_channels.get(name) {
+            self.kernel.rebind_channel(*ch, node, node);
+        }
+        let reply_updates: Vec<(ChannelId, NodeId, NodeId)> = self
+            .reply_channels
+            .iter()
+            .filter_map(|((from, to), ch)| {
+                let from_node = if from == name {
+                    node
+                } else {
+                    self.instances.get(from)?.node
+                };
+                let to_node = if to == name {
+                    node
+                } else {
+                    self.instances.get(to)?.node
+                };
+                (from == name || to == name).then_some((*ch, from_node, to_node))
+            })
+            .collect();
+        for (ch, s, d) in reply_updates {
+            self.kernel.rebind_channel(ch, s, d);
+        }
+        let mut binding_updates: Vec<(ChannelId, NodeId, NodeId)> = Vec::new();
+        for b in self.bindings.values() {
+            let src = &b.decl.from.0;
+            for ((inst, _), ch) in b.decl.to.iter().zip(&b.channels) {
+                if src != name && inst != name {
+                    continue;
+                }
+                let s = if src == name {
+                    node
+                } else {
+                    match self.instances.get(src) {
+                        Some(i) => i.node,
+                        None => continue,
+                    }
+                };
+                let d = if inst == name {
+                    node
+                } else {
+                    match self.instances.get(inst) {
+                        Some(i) => i.node,
+                        None => continue,
+                    }
+                };
+                binding_updates.push((*ch, s, d));
+            }
+        }
+        for (ch, s, d) in binding_updates {
+            self.kernel.rebind_channel(ch, s, d);
+        }
+    }
+
+    fn apply_instant(&mut self, action: &ReconfigAction) -> Result<(), RuntimeError> {
+        match action {
+            ReconfigAction::AddComponent { name, decl } => self.add_component(name, decl),
+            ReconfigAction::AddConnector { spec, .. } => self.add_connector(spec.clone()),
+            ReconfigAction::SwapConnector { name, spec } => {
+                self.adapt_connector(name, spec.clone())
+            }
+            ReconfigAction::RemoveConnector { name } => {
+                if self.bindings.values().any(|b| b.decl.via == *name) {
+                    return Err(RuntimeError::ReconfigFailed {
+                        action: action.kind().to_owned(),
+                        reason: format!("connector `{name}` still in use"),
+                    });
+                }
+                self.connectors
+                    .remove(name)
+                    .map(|_| ())
+                    .ok_or_else(|| RuntimeError::UnknownConnector(name.clone()))
+            }
+            ReconfigAction::Bind(decl) => self.add_binding(decl.clone()),
+            ReconfigAction::Unbind { from } => self.remove_binding(from),
+            other => Err(RuntimeError::ReconfigFailed {
+                action: other.kind().to_owned(),
+                reason: "requires quiescence".into(),
+            }),
+        }
+    }
+
+    fn finish_reconfig(&mut self, success: bool, failure: Option<String>) {
+        let now = self.kernel.now();
+        // Release anything still blocked (abort path).
+        let blocked: Vec<String> = self
+            .instances
+            .iter()
+            .filter(|(_, i)| i.blocked_at.is_some())
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in blocked {
+            self.unblock_component(&name);
+        }
+        let Some(exec) = self.active_reconfig.take() else {
+            return;
+        };
+        let report = ReconfigReport {
+            id: exec.id,
+            started_at: exec.started_at,
+            finished_at: now,
+            success,
+            failure,
+            actions_applied: exec.applied,
+            blackouts: exec.blackouts,
+            messages_held: exec.messages_held,
+            state_bytes_transferred: exec.state_bytes,
+        };
+        self.events
+            .push((now, RuntimeEvent::ReconfigFinished(report.clone())));
+        self.reports.push(report);
+    }
+
+    // ------------------------------------------------------------------
+    // The event loop
+    // ------------------------------------------------------------------
+
+    /// Processes one kernel event; returns its time, or `None` when idle.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (at, fired) = self.kernel.step()?;
+        match fired {
+            Fired::Delivered { msg: env, .. } => self.on_delivered(env, at),
+            Fired::Timer { tag } => self.on_timer(tag, at),
+            Fired::Fault(kind) => {
+                self.events.push((at, RuntimeEvent::Fault(kind)));
+                self.on_fault(kind);
+            }
+            Fired::DroppedAtDelivery { reason, .. } => {
+                self.metrics.dropped += 1;
+                self.events.push((
+                    at,
+                    RuntimeEvent::Dropped {
+                        reason: reason.to_string(),
+                    },
+                ));
+            }
+        }
+        Some(at)
+    }
+
+    /// Runs until no event at or before `deadline` remains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self
+            .kernel
+            .next_event_time()
+            .is_some_and(|t| t <= deadline)
+        {
+            let _ = self.step();
+        }
+    }
+
+    /// Runs for `d` of virtual time from now.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.kernel.now() + d;
+        self.run_until(deadline);
+    }
+
+    fn on_delivered(&mut self, env: Envelope, now: SimTime) {
+        let Some(inst) = self.instances.get_mut(&env.to_instance) else {
+            self.metrics.dropped += 1;
+            self.events.push((
+                now,
+                RuntimeEvent::Dropped {
+                    reason: format!("no instance `{}`", env.to_instance),
+                },
+            ));
+            return;
+        };
+        let cost = env.extra_cost + inst.component.work_cost(&env.msg);
+        let node = inst.node;
+        let Some(delay) = self.kernel.run_job(node, cost) else {
+            self.metrics.dropped += 1;
+            self.events.push((
+                now,
+                RuntimeEvent::Dropped {
+                    reason: format!("node for `{}` down", env.to_instance),
+                },
+            ));
+            return;
+        };
+        let inst = self.instances.get_mut(&env.to_instance).expect("checked");
+        inst.inflight += 1;
+        let instance = env.to_instance.clone();
+        let tag = self.kernel.set_timer(delay);
+        self.timers.insert(
+            tag,
+            TimerPurpose::JobDone {
+                instance,
+                envelope: Box::new(env),
+            },
+        );
+    }
+
+    fn on_timer(&mut self, tag: u64, now: SimTime) {
+        let Some(purpose) = self.timers.remove(&tag) else {
+            return;
+        };
+        match purpose {
+            TimerPurpose::JobDone { instance, envelope } => {
+                self.on_job_done(&instance, *envelope, now);
+            }
+            TimerPurpose::ComponentTimer { instance, tag } => {
+                if let Some(mut inst) = self.instances.remove(&instance) {
+                    let mut ctx = CallCtx::new(now, &instance);
+                    inst.component.on_timer(&mut ctx, tag);
+                    let effects = ctx.into_effects();
+                    self.instances.insert(instance.clone(), inst);
+                    self.apply_effects(&instance, effects, None, now);
+                }
+            }
+            TimerPurpose::RamlTick => self.on_raml_tick(now),
+            TimerPurpose::TransferDone => self.advance_reconfig(),
+            TimerPurpose::Inject { target, message } => {
+                let _ = self.inject(&target, *message);
+            }
+        }
+    }
+
+    fn on_job_done(&mut self, name: &str, env: Envelope, now: SimTime) {
+        let Some(mut inst) = self.instances.remove(name) else {
+            return;
+        };
+        inst.inflight = inst.inflight.saturating_sub(1);
+
+        // Channel-preservation accounting (loss/dup/reorder detection).
+        if env.msg.kind != MessageKind::Reply {
+            let _ = inst.tracker.observe(&env.msg.from, env.msg.seq);
+        }
+
+        // Latency metrics.
+        let e2e = now.saturating_since(env.msg.sent_at);
+        inst.latency.observe_duration(e2e);
+        self.metrics.e2e_latency.observe_duration(e2e);
+        if env.msg.kind == MessageKind::Reply {
+            if let Some(corr) = env.msg.correlation {
+                if let Some((sent, _)) = self.pending_requests.remove(&corr) {
+                    self.metrics.rtt.observe_duration(now.saturating_since(sent));
+                }
+            }
+        }
+
+        // Hand to the component (replies only if it declares the op).
+        let deliver = env.msg.kind != MessageKind::Reply
+            || inst.component.provided().provides(&env.msg.op);
+        let mut effects = Vec::new();
+        if deliver {
+            let mut ctx = CallCtx::new(now, name);
+            match inst.component.on_message(&mut ctx, &env.msg) {
+                Ok(()) => {}
+                Err(e) => {
+                    inst.errors += 1;
+                    self.metrics.handler_errors += 1;
+                    self.events.push((
+                        now,
+                        RuntimeEvent::HandlerError {
+                            instance: name.to_owned(),
+                            details: e.to_string(),
+                        },
+                    ));
+                }
+            }
+            effects = ctx.into_effects();
+        }
+        inst.processed += 1;
+
+        let drained = inst.lifecycle == Lifecycle::Quiescing && inst.inflight == 0;
+        if drained {
+            inst.lifecycle = Lifecycle::Quiescent;
+        }
+        self.instances.insert(name.to_owned(), inst);
+        self.apply_effects(name, effects, Some(&env.msg), now);
+        if drained {
+            self.advance_reconfig();
+        }
+    }
+
+    fn apply_effects(
+        &mut self,
+        from: &str,
+        effects: Vec<Effect>,
+        current: Option<&Message>,
+        now: SimTime,
+    ) {
+        for effect in effects {
+            match effect {
+                Effect::Send { port, message } => {
+                    self.dispatch_send(from, &port, message);
+                }
+                Effect::Reply { value } => {
+                    if let Some(cur) = current {
+                        if cur.kind == MessageKind::Request {
+                            let reply = Message::reply_to(cur, value);
+                            self.route_reply(from, &cur.from.clone(), reply, now);
+                        }
+                    }
+                }
+                Effect::SetTimer { delay, tag } => {
+                    let t = self.kernel.set_timer(delay);
+                    self.timers.insert(
+                        t,
+                        TimerPurpose::ComponentTimer {
+                            instance: from.to_owned(),
+                            tag,
+                        },
+                    );
+                }
+                Effect::Metric { name, value } => {
+                    if let Some(inst) = self.instances.get_mut(from) {
+                        inst.custom
+                            .entry(name)
+                            .or_insert_with(Summary::new)
+                            .observe(value);
+                    }
+                }
+            }
+        }
+    }
+
+    fn dispatch_send(&mut self, from: &str, port: &str, msg: Message) {
+        let key = (from.to_owned(), port.to_owned());
+        let Some(binding) = self.bindings.get(&key) else {
+            self.metrics.unrouted += 1;
+            self.events.push((
+                self.kernel.now(),
+                RuntimeEvent::Dropped {
+                    reason: format!("no binding at `{from}.{port}`"),
+                },
+            ));
+            return;
+        };
+        let via = binding.decl.via.clone();
+        let targets_decl = binding.decl.to.clone();
+        let channels = binding.channels.clone();
+
+        let now = self.kernel.now();
+        let connector = self.connectors.get_mut(&via).expect("bound connector");
+        let mediation = connector.mediate(&msg, now, targets_decl.len());
+        if let Some(v) = &mediation.violation {
+            self.events.push((
+                now,
+                RuntimeEvent::ProtocolViolation {
+                    connector: via.clone(),
+                    details: v.to_string(),
+                },
+            ));
+        }
+
+        for idx in mediation.targets {
+            let (to_inst, to_port) = &targets_decl[idx];
+            let mut env = self.finalize(from, to_inst, to_port, msg.clone(), Some(&via));
+            env.extra_cost = mediation.extra_cost;
+            let size = (env.msg.wire_size() as f64 * mediation.size_factor) as u64;
+            if !self.kernel.send(channels[idx], env, size).is_sent() {
+                self.metrics.dropped += 1;
+            }
+        }
+
+        // Deferred connector interchange: apply once the collaboration
+        // automaton reaches a final (quiescent) state.
+        if self.pending_connector_swaps.contains_key(&via) {
+            let quiescent = self
+                .connectors
+                .get(&via)
+                .is_some_and(Connector::at_quiescent_point);
+            if quiescent {
+                if let Some(spec) = self.pending_connector_swaps.remove(&via) {
+                    let _ = self.adapt_connector(&via, spec);
+                }
+            }
+        }
+    }
+
+    /// Assigns id, per-flow sequence number, sender and timestamp to a
+    /// message copy headed for `to_inst`, and registers pending requests.
+    fn finalize(
+        &mut self,
+        from: &str,
+        to_inst: &str,
+        to_port: &str,
+        mut msg: Message,
+        via: Option<&str>,
+    ) -> Envelope {
+        msg.id = MessageId(self.next_msg_id);
+        self.next_msg_id += 1;
+        msg.from = from.to_owned();
+        msg.sent_at = self.kernel.now();
+        if msg.kind != MessageKind::Reply {
+            let seq = self
+                .flow_seq
+                .entry((from.to_owned(), to_inst.to_owned()))
+                .or_insert(0);
+            msg.seq = *seq;
+            *seq += 1;
+            if let Some(via) = via {
+                if let Some(conn) = self.connectors.get_mut(via) {
+                    if conn.has_sequence_check() {
+                        conn.observe_sequence(&format!("{from}->{to_inst}"), msg.seq);
+                    }
+                }
+            }
+        }
+        if msg.kind == MessageKind::Request {
+            self.pending_requests
+                .insert(msg.id, (msg.sent_at, from.to_owned()));
+        }
+        Envelope {
+            msg,
+            to_instance: to_inst.to_owned(),
+            to_port: to_port.to_owned(),
+            extra_cost: 0.0,
+            via: via.map(str::to_owned),
+        }
+    }
+
+    fn route_reply(&mut self, from: &str, to: &str, reply: Message, now: SimTime) {
+        if to == EXTERNAL {
+            let mut reply = reply;
+            reply.id = MessageId(self.next_msg_id);
+            self.next_msg_id += 1;
+            reply.from = from.to_owned();
+            reply.sent_at = now;
+            if let Some(corr) = reply.correlation {
+                if let Some((sent, _)) = self.pending_requests.remove(&corr) {
+                    self.metrics.rtt.observe_duration(now.saturating_since(sent));
+                }
+            }
+            self.outbox.push((now, reply));
+            return;
+        }
+        let Some(from_node) = self.instances.get(from).map(|i| i.node) else {
+            return;
+        };
+        let Some(to_node) = self.instances.get(to).map(|i| i.node) else {
+            self.metrics.dropped += 1;
+            return;
+        };
+        let key = (from.to_owned(), to.to_owned());
+        let ch = match self.reply_channels.get(&key) {
+            Some(ch) => *ch,
+            None => {
+                let ch = self.kernel.open_channel(from_node, to_node);
+                self.reply_channels.insert(key, ch);
+                ch
+            }
+        };
+        let env = self.finalize(from, to, "reply", reply, None);
+        let size = env.msg.wire_size();
+        if !self.kernel.send(ch, env, size).is_sent() {
+            self.metrics.dropped += 1;
+        }
+    }
+
+    /// Event-triggered reconfiguration (the Durra path): faults are fed
+    /// to RAML's fault rules immediately, outside the periodic tick.
+    fn on_fault(&mut self, kind: FaultKind) {
+        let Some(mut raml) = self.raml.take() else {
+            return;
+        };
+        let snap = self.observe();
+        let intercessions = raml.on_fault(kind, &snap);
+        self.raml = Some(raml);
+        for cmd in intercessions {
+            match cmd {
+                Intercession::Reconfigure(plan) => {
+                    let _ = self.request_reconfig(plan);
+                }
+                Intercession::AdaptConnector { name, spec } => {
+                    let _ = self.adapt_connector(&name, spec);
+                }
+                Intercession::Notify(text) => {
+                    self.events
+                        .push((self.kernel.now(), RuntimeEvent::Notify(text)));
+                }
+            }
+        }
+    }
+
+    fn on_raml_tick(&mut self, _now: SimTime) {
+        let Some(mut raml) = self.raml.take() else {
+            return;
+        };
+        let snap = self.observe();
+        let intercessions = raml.evaluate(&snap);
+        let interval = raml.interval();
+        self.raml = Some(raml);
+        for cmd in intercessions {
+            match cmd {
+                Intercession::Reconfigure(plan) => {
+                    let _ = self.request_reconfig(plan);
+                }
+                Intercession::AdaptConnector { name, spec } => {
+                    let _ = self.adapt_connector(&name, spec);
+                }
+                Intercession::Notify(text) => {
+                    self.events
+                        .push((self.kernel.now(), RuntimeEvent::Notify(text)));
+                }
+            }
+        }
+        let tag = self.kernel.set_timer(interval);
+        self.timers.insert(tag, TimerPurpose::RamlTick);
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection helpers
+    // ------------------------------------------------------------------
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// The topology (read access).
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        self.kernel.topology()
+    }
+
+    /// Injects a fault schedule into the underlying kernel.
+    pub fn inject_faults(&mut self, schedule: aas_sim::fault::FaultSchedule) {
+        self.kernel.inject_faults(schedule);
+    }
+
+    /// Aggregated runtime metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &RuntimeMetrics {
+        &self.metrics
+    }
+
+    /// Kernel-level counters (`sent`, `delivered`, `dropped`, `held`, …).
+    #[must_use]
+    pub fn kernel_counters(&self) -> &aas_sim::stats::Counters {
+        self.kernel.counters()
+    }
+
+    /// Lifecycle of an instance, if it exists.
+    #[must_use]
+    pub fn lifecycle(&self, name: &str) -> Option<Lifecycle> {
+        self.instances.get(name).map(|i| i.lifecycle)
+    }
+
+    /// The node currently hosting an instance.
+    #[must_use]
+    pub fn node_of(&self, name: &str) -> Option<NodeId> {
+        self.instances.get(name).map(|i| i.node)
+    }
+
+    /// Removes and returns all replies addressed to the external client.
+    pub fn take_outbox(&mut self) -> Vec<(SimTime, Message)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Removes and returns accumulated runtime events.
+    pub fn drain_events(&mut self) -> Vec<(SimTime, RuntimeEvent)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Names of live component instances.
+    pub fn instance_names(&self) -> impl Iterator<Item = &str> {
+        self.instances.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{EchoComponent, StateSnapshot};
+    use crate::connector::{ConnectorAspect, RoutingPolicy};
+    use crate::error::ComponentError;
+    use crate::interface::{Interface, Signature};
+    use crate::message::Value;
+    use crate::raml::{Constraint, Rule};
+
+    /// Counts `tick` messages and replies with the running count.
+    #[derive(Debug, Default)]
+    struct Counter {
+        count: i64,
+    }
+
+    impl Component for Counter {
+        fn type_name(&self) -> &str {
+            "Counter"
+        }
+        fn provided(&self) -> Interface {
+            Interface::new("Counter", vec![Signature::one_way("tick")])
+        }
+        fn on_message(&mut self, ctx: &mut CallCtx, msg: &Message) -> Result<(), ComponentError> {
+            match msg.op.as_str() {
+                "tick" => {
+                    self.count += 1;
+                    ctx.reply(Value::from(self.count));
+                    Ok(())
+                }
+                other => Err(ComponentError::UnsupportedOperation(other.to_owned())),
+            }
+        }
+        fn snapshot(&self) -> StateSnapshot {
+            StateSnapshot::new("Counter", 1).with_field("count", Value::from(self.count))
+        }
+        fn restore(&mut self, snap: &StateSnapshot) -> Result<(), crate::error::StateError> {
+            self.count = snap.require("count")?.as_int().unwrap_or(0);
+            Ok(())
+        }
+    }
+
+    /// Counter v2: extends the interface with `reset` (backward compatible).
+    #[derive(Debug, Default)]
+    struct CounterV2 {
+        count: i64,
+    }
+
+    impl Component for CounterV2 {
+        fn type_name(&self) -> &str {
+            "Counter"
+        }
+        fn provided(&self) -> Interface {
+            Interface::new(
+                "Counter",
+                vec![Signature::one_way("tick"), Signature::one_way("reset")],
+            )
+        }
+        fn on_message(&mut self, ctx: &mut CallCtx, msg: &Message) -> Result<(), ComponentError> {
+            match msg.op.as_str() {
+                "tick" => {
+                    self.count += 1;
+                    ctx.reply(Value::from(self.count));
+                    Ok(())
+                }
+                "reset" => {
+                    self.count = 0;
+                    Ok(())
+                }
+                other => Err(ComponentError::UnsupportedOperation(other.to_owned())),
+            }
+        }
+        fn snapshot(&self) -> StateSnapshot {
+            StateSnapshot::new("Counter", 2).with_field("count", Value::from(self.count))
+        }
+        fn restore(&mut self, snap: &StateSnapshot) -> Result<(), crate::error::StateError> {
+            self.count = snap.require("count")?.as_int().unwrap_or(0);
+            Ok(())
+        }
+    }
+
+    /// A "counter" that dropped the `tick` operation: incompatible.
+    #[derive(Debug, Default)]
+    struct CounterBroken;
+
+    impl Component for CounterBroken {
+        fn type_name(&self) -> &str {
+            "Counter"
+        }
+        fn provided(&self) -> Interface {
+            Interface::new("Counter", vec![Signature::one_way("other")])
+        }
+        fn on_message(&mut self, _: &mut CallCtx, _: &Message) -> Result<(), ComponentError> {
+            Ok(())
+        }
+        fn snapshot(&self) -> StateSnapshot {
+            StateSnapshot::new("Counter", 9)
+        }
+        fn restore(&mut self, _: &StateSnapshot) -> Result<(), crate::error::StateError> {
+            Ok(())
+        }
+    }
+
+    /// Forwards every `tick` to its `out` port.
+    #[derive(Debug, Default)]
+    struct Forwarder;
+
+    impl Component for Forwarder {
+        fn type_name(&self) -> &str {
+            "Forwarder"
+        }
+        fn provided(&self) -> Interface {
+            Interface::new("Forwarder", vec![Signature::one_way("tick")])
+        }
+        fn on_message(&mut self, ctx: &mut CallCtx, msg: &Message) -> Result<(), ComponentError> {
+            ctx.send("out", Message::event("tick", msg.value.clone()));
+            Ok(())
+        }
+        fn snapshot(&self) -> StateSnapshot {
+            StateSnapshot::new("Forwarder", 1)
+        }
+        fn restore(&mut self, _: &StateSnapshot) -> Result<(), crate::error::StateError> {
+            Ok(())
+        }
+    }
+
+    fn registry() -> ImplementationRegistry {
+        let mut r = ImplementationRegistry::new();
+        r.register("Counter", 1, |_| Box::new(Counter::default()));
+        r.register("Counter", 2, |_| Box::new(CounterV2::default()));
+        r.register("Counter", 9, |_| Box::new(CounterBroken));
+        r.register("Forwarder", 1, |_| Box::new(Forwarder));
+        r.register("Echo", 1, |_| Box::new(EchoComponent::default()));
+        r
+    }
+
+    fn runtime(nodes: usize) -> Runtime {
+        let topo = Topology::clique(nodes, 1000.0, SimDuration::from_millis(2), 1e7);
+        Runtime::new(topo, 7, registry())
+    }
+
+    fn counter_runtime() -> Runtime {
+        let mut rt = runtime(2);
+        let mut cfg = Configuration::new();
+        cfg.component("counter", ComponentDecl::new("Counter", 1, NodeId(0)));
+        rt.deploy(&cfg).unwrap();
+        rt
+    }
+
+    fn tick(rt: &mut Runtime, n: usize) {
+        for _ in 0..n {
+            rt.inject("counter", Message::request("tick", Value::Null)).unwrap();
+        }
+    }
+
+    fn last_count(rt: &mut Runtime) -> i64 {
+        rt.take_outbox()
+            .last()
+            .and_then(|(_, m)| m.value.as_int())
+            .expect("at least one reply")
+    }
+
+    #[test]
+    fn request_reply_roundtrip_with_rtt() {
+        let mut rt = counter_runtime();
+        tick(&mut rt, 3);
+        rt.run_until(SimTime::from_secs(1));
+        assert_eq!(last_count(&mut rt), 3);
+        assert_eq!(rt.metrics().rtt.count(), 3);
+        assert_eq!(rt.metrics().handler_errors, 0);
+    }
+
+    #[test]
+    fn strong_swap_preserves_state() {
+        let mut rt = counter_runtime();
+        tick(&mut rt, 5);
+        rt.run_until(SimTime::from_secs(1));
+        assert_eq!(last_count(&mut rt), 5);
+
+        let plan = ReconfigPlan::single(ReconfigAction::SwapImplementation {
+            name: "counter".into(),
+            type_name: "Counter".into(),
+            version: 2,
+            transfer: StateTransfer::Snapshot,
+        });
+        rt.request_reconfig(plan);
+        rt.run_until(SimTime::from_secs(2));
+        let report = rt.reports().last().unwrap();
+        assert!(report.success, "{:?}", report.failure);
+        assert!(report.state_bytes_transferred > 0);
+
+        tick(&mut rt, 1);
+        rt.run_until(SimTime::from_secs(3));
+        assert_eq!(last_count(&mut rt), 6, "count continued from 5");
+        assert_eq!(rt.lifecycle("counter"), Some(Lifecycle::Active));
+    }
+
+    #[test]
+    fn weak_swap_resets_state() {
+        let mut rt = counter_runtime();
+        tick(&mut rt, 5);
+        rt.run_until(SimTime::from_secs(1));
+        rt.take_outbox();
+
+        rt.request_reconfig(ReconfigPlan::single(ReconfigAction::SwapImplementation {
+            name: "counter".into(),
+            type_name: "Counter".into(),
+            version: 2,
+            transfer: StateTransfer::None,
+        }));
+        rt.run_until(SimTime::from_secs(2));
+        assert!(rt.reports().last().unwrap().success);
+
+        tick(&mut rt, 1);
+        rt.run_until(SimTime::from_secs(3));
+        assert_eq!(last_count(&mut rt), 1, "fresh implementation starts at 0");
+    }
+
+    #[test]
+    fn incompatible_swap_fails_and_keeps_old_component() {
+        let mut rt = counter_runtime();
+        rt.request_reconfig(ReconfigPlan::single(ReconfigAction::SwapImplementation {
+            name: "counter".into(),
+            type_name: "Counter".into(),
+            version: 9,
+            transfer: StateTransfer::Snapshot,
+        }));
+        rt.run_until(SimTime::from_secs(1));
+        let report = rt.reports().last().unwrap();
+        assert!(!report.success);
+        assert!(report.failure.as_deref().unwrap().contains("tick"));
+        // Old component still serves.
+        tick(&mut rt, 1);
+        rt.run_until(SimTime::from_secs(2));
+        assert_eq!(last_count(&mut rt), 1);
+        assert_eq!(rt.lifecycle("counter"), Some(Lifecycle::Active));
+    }
+
+    #[test]
+    fn migration_moves_component_without_message_loss() {
+        let mut rt = counter_runtime();
+        assert_eq!(rt.node_of("counter"), Some(NodeId(0)));
+
+        // Traffic in flight across the migration.
+        for i in 0..20u64 {
+            rt.inject_after(
+                SimDuration::from_millis(i * 5),
+                "counter",
+                Message::request("tick", Value::Null),
+            )
+            .unwrap();
+        }
+        rt.run_until(SimTime::from_millis(20));
+        rt.request_reconfig(ReconfigPlan::single(ReconfigAction::Migrate {
+            name: "counter".into(),
+            to: NodeId(1),
+        }));
+        rt.run_until(SimTime::from_secs(5));
+
+        assert_eq!(rt.node_of("counter"), Some(NodeId(1)));
+        let report = rt.reports().last().unwrap();
+        assert!(report.success, "{:?}", report.failure);
+        assert!(report.max_blackout() > SimDuration::ZERO);
+        // Every tick processed exactly once, in order.
+        assert_eq!(last_count(&mut rt), 20);
+        let snap = rt.observe();
+        assert_eq!(snap.component("counter").unwrap().seq_anomalies, 0);
+    }
+
+    #[test]
+    fn reconfig_under_load_holds_messages_without_loss() {
+        let mut rt = counter_runtime();
+        for i in 0..50u64 {
+            rt.inject_after(
+                SimDuration::from_millis(i * 2),
+                "counter",
+                Message::request("tick", Value::Null),
+            )
+            .unwrap();
+        }
+        // Swap right in the middle of the stream.
+        rt.run_until(SimTime::from_millis(50));
+        rt.request_reconfig(ReconfigPlan::single(ReconfigAction::SwapImplementation {
+            name: "counter".into(),
+            type_name: "Counter".into(),
+            version: 2,
+            transfer: StateTransfer::Snapshot,
+        }));
+        rt.run_until(SimTime::from_secs(10));
+
+        let report = rt.reports().last().unwrap();
+        assert!(report.success);
+        assert_eq!(last_count(&mut rt), 50, "all 50 ticks counted exactly once");
+        let snap = rt.observe();
+        assert_eq!(snap.component("counter").unwrap().seq_anomalies, 0);
+    }
+
+    #[test]
+    fn migrating_to_dead_node_fails_cleanly() {
+        let mut rt = counter_runtime();
+        rt.inject_faults({
+            let mut f = aas_sim::fault::FaultSchedule::new();
+            f.at(SimTime::from_micros(1), FaultKind::NodeCrash(NodeId(1)));
+            f
+        });
+        rt.run_until(SimTime::from_millis(1));
+        rt.request_reconfig(ReconfigPlan::single(ReconfigAction::Migrate {
+            name: "counter".into(),
+            to: NodeId(1),
+        }));
+        rt.run_until(SimTime::from_secs(1));
+        let report = rt.reports().last().unwrap();
+        assert!(!report.success);
+        assert_eq!(rt.node_of("counter"), Some(NodeId(0)));
+        // Still functional after the abort.
+        tick(&mut rt, 1);
+        rt.run_until(SimTime::from_secs(2));
+        assert_eq!(last_count(&mut rt), 1);
+    }
+
+    #[test]
+    fn remove_component_requires_unbinding_first() {
+        let mut rt = runtime(2);
+        let mut cfg = Configuration::new();
+        cfg.component("fwd", ComponentDecl::new("Forwarder", 1, NodeId(0)));
+        cfg.component("counter", ComponentDecl::new("Counter", 1, NodeId(1)));
+        cfg.connector(ConnectorSpec::direct("wire"));
+        cfg.bind(BindingDecl::new("fwd", "out", "wire", "counter", "in"));
+        rt.deploy(&cfg).unwrap();
+
+        rt.request_reconfig(ReconfigPlan::single(ReconfigAction::RemoveComponent {
+            name: "counter".into(),
+        }));
+        rt.run_until(SimTime::from_secs(1));
+        assert!(!rt.reports().last().unwrap().success);
+
+        // Unbind, then remove: succeeds.
+        let plan: ReconfigPlan = vec![
+            ReconfigAction::Unbind {
+                from: ("fwd".into(), "out".into()),
+            },
+            ReconfigAction::RemoveComponent {
+                name: "counter".into(),
+            },
+        ]
+        .into_iter()
+        .collect();
+        rt.request_reconfig(plan);
+        rt.run_until(SimTime::from_secs(2));
+        assert!(rt.reports().last().unwrap().success);
+        assert_eq!(rt.lifecycle("counter"), None);
+        assert_eq!(rt.instance_names().count(), 1);
+    }
+
+    #[test]
+    fn pipeline_forwards_through_connector() {
+        let mut rt = runtime(3);
+        let mut cfg = Configuration::new();
+        cfg.component("fwd", ComponentDecl::new("Forwarder", 1, NodeId(0)));
+        cfg.component("counter", ComponentDecl::new("Counter", 1, NodeId(1)));
+        cfg.connector(ConnectorSpec::direct("wire"));
+        cfg.bind(BindingDecl::new("fwd", "out", "wire", "counter", "in"));
+        rt.deploy(&cfg).unwrap();
+
+        for _ in 0..4 {
+            rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        }
+        rt.run_until(SimTime::from_secs(1));
+        let snap = rt.observe();
+        assert_eq!(snap.component("counter").unwrap().processed, 4);
+        assert_eq!(snap.connector("wire").unwrap().mediated, 4);
+        assert_eq!(snap.component("counter").unwrap().seq_anomalies, 0);
+    }
+
+    #[test]
+    fn round_robin_distributes_between_targets() {
+        let mut rt = runtime(3);
+        let mut cfg = Configuration::new();
+        cfg.component("fwd", ComponentDecl::new("Forwarder", 1, NodeId(0)));
+        cfg.component("c1", ComponentDecl::new("Counter", 1, NodeId(1)));
+        cfg.component("c2", ComponentDecl::new("Counter", 1, NodeId(2)));
+        cfg.connector(ConnectorSpec::direct("lb").with_policy(RoutingPolicy::RoundRobin));
+        cfg.bind(BindingDecl::new("fwd", "out", "lb", "c1", "in").also_to("c2", "in"));
+        rt.deploy(&cfg).unwrap();
+
+        for _ in 0..10 {
+            rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        }
+        rt.run_until(SimTime::from_secs(1));
+        let snap = rt.observe();
+        assert_eq!(snap.component("c1").unwrap().processed, 5);
+        assert_eq!(snap.component("c2").unwrap().processed, 5);
+        // Per-target sequence numbering keeps both streams clean.
+        assert_eq!(snap.component("c1").unwrap().seq_anomalies, 0);
+        assert_eq!(snap.component("c2").unwrap().seq_anomalies, 0);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_targets() {
+        let mut rt = runtime(3);
+        let mut cfg = Configuration::new();
+        cfg.component("fwd", ComponentDecl::new("Forwarder", 1, NodeId(0)));
+        cfg.component("c1", ComponentDecl::new("Counter", 1, NodeId(1)));
+        cfg.component("c2", ComponentDecl::new("Counter", 1, NodeId(2)));
+        cfg.connector(ConnectorSpec::direct("bc").with_policy(RoutingPolicy::Broadcast));
+        cfg.bind(BindingDecl::new("fwd", "out", "bc", "c1", "in").also_to("c2", "in"));
+        rt.deploy(&cfg).unwrap();
+
+        for _ in 0..6 {
+            rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        }
+        rt.run_until(SimTime::from_secs(1));
+        let snap = rt.observe();
+        assert_eq!(snap.component("c1").unwrap().processed, 6);
+        assert_eq!(snap.component("c2").unwrap().processed, 6);
+    }
+
+    #[test]
+    fn adapt_connector_is_instant_and_preserves_bindings() {
+        let mut rt = runtime(2);
+        let mut cfg = Configuration::new();
+        cfg.component("fwd", ComponentDecl::new("Forwarder", 1, NodeId(0)));
+        cfg.component("counter", ComponentDecl::new("Counter", 1, NodeId(1)));
+        cfg.connector(ConnectorSpec::direct("wire"));
+        cfg.bind(BindingDecl::new("fwd", "out", "wire", "counter", "in"));
+        rt.deploy(&cfg).unwrap();
+
+        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.run_until(SimTime::from_secs(1));
+
+        // Swap in a metering connector: no reports, no blackout, no loss.
+        rt.adapt_connector(
+            "wire",
+            ConnectorSpec::direct("wire").with_aspect(ConnectorAspect::Metering),
+        )
+        .unwrap();
+        assert!(rt.reports().is_empty());
+        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.run_until(SimTime::from_secs(2));
+        let snap = rt.observe();
+        assert_eq!(snap.component("counter").unwrap().processed, 2);
+        assert_eq!(snap.component("counter").unwrap().seq_anomalies, 0);
+        assert_eq!(snap.connector("wire").unwrap().mediated, 1);
+    }
+
+    #[test]
+    fn queued_plans_execute_in_order() {
+        let mut rt = counter_runtime();
+        tick(&mut rt, 30); // keep it busy so the first plan must wait
+        let id1 = rt.request_reconfig(ReconfigPlan::single(
+            ReconfigAction::SwapImplementation {
+                name: "counter".into(),
+                type_name: "Counter".into(),
+                version: 2,
+                transfer: StateTransfer::Snapshot,
+            },
+        ));
+        let id2 = rt.request_reconfig(ReconfigPlan::single(
+            ReconfigAction::SwapImplementation {
+                name: "counter".into(),
+                type_name: "Counter".into(),
+                version: 1,
+                transfer: StateTransfer::Snapshot,
+            },
+        ));
+        rt.run_until(SimTime::from_secs(10));
+        assert_eq!(rt.reports().len(), 2);
+        assert_eq!(rt.reports()[0].id, id1);
+        assert_eq!(rt.reports()[1].id, id2);
+        assert!(rt.reports()[0].success);
+        // Downgrading v2 -> v1 removes `reset`: correctly rejected as an
+        // interface regression; the v2 implementation stays in place.
+        assert!(!rt.reports()[1].success);
+        tick(&mut rt, 1);
+        rt.run_until(SimTime::from_secs(11));
+        assert_eq!(last_count(&mut rt), 31, "state survived both swaps");
+    }
+
+    #[test]
+    fn raml_rule_fires_and_adapts() {
+        let mut rt = runtime(2);
+        let mut cfg = Configuration::new();
+        cfg.component("fwd", ComponentDecl::new("Forwarder", 1, NodeId(0)));
+        cfg.component("counter", ComponentDecl::new("Counter", 1, NodeId(1)));
+        cfg.connector(ConnectorSpec::direct("wire"));
+        cfg.bind(BindingDecl::new("fwd", "out", "wire", "counter", "in"));
+        rt.deploy(&cfg).unwrap();
+
+        let mut raml = Raml::new(SimDuration::from_millis(100));
+        raml.add_constraint(Constraint::NoSequenceAnomalies {
+            component: "counter".into(),
+        });
+        raml.add_rule(
+            Rule::when("meter-when-busy", |s: &SystemSnapshot| {
+                s.component("counter").is_some_and(|c| c.processed >= 3)
+            })
+            .cooldown(SimDuration::from_secs(100))
+            .then(|_| {
+                vec![Intercession::AdaptConnector {
+                    name: "wire".into(),
+                    spec: ConnectorSpec::direct("wire")
+                        .with_aspect(ConnectorAspect::Metering),
+                }]
+            }),
+        );
+        rt.install_raml(raml);
+
+        for i in 0..10u64 {
+            rt.inject_after(
+                SimDuration::from_millis(i * 30),
+                "fwd",
+                Message::event("tick", Value::Null),
+            )
+            .unwrap();
+        }
+        rt.run_until(SimTime::from_secs(1));
+        // The rule swapped in a metering connector mid-run.
+        let snap = rt.observe();
+        assert!(snap.connector("wire").unwrap().mean_metered_latency_ms > 0.0);
+        assert_eq!(rt.raml().unwrap().rules()[0].fired_count(), 1);
+        assert!(rt.raml().unwrap().violations().is_empty());
+    }
+
+    #[test]
+    fn node_crash_drops_messages_and_recovery_restores() {
+        let mut rt = counter_runtime();
+        let mut faults = aas_sim::fault::FaultSchedule::new();
+        faults.node_outage(NodeId(0), SimTime::from_millis(10), SimTime::from_millis(100));
+        rt.inject_faults(faults);
+
+        rt.inject_after(SimDuration::from_millis(50), "counter", Message::request("tick", Value::Null))
+            .unwrap();
+        rt.inject_after(SimDuration::from_millis(200), "counter", Message::request("tick", Value::Null))
+            .unwrap();
+        rt.run_until(SimTime::from_secs(1));
+        // First tick dropped (node down at delivery), second processed.
+        let replies = rt.take_outbox();
+        assert_eq!(replies.len(), 1);
+        let events = rt.drain_events();
+        assert!(events.iter().any(|(_, e)| matches!(e, RuntimeEvent::Fault(_))));
+        assert!(rt.metrics().dropped >= 1 || rt.kernel_counters().get("dropped") >= 1);
+    }
+
+    #[test]
+    fn unrouted_sends_are_counted() {
+        let mut rt = runtime(1);
+        let mut cfg = Configuration::new();
+        cfg.component("fwd", ComponentDecl::new("Forwarder", 1, NodeId(0)));
+        rt.deploy(&cfg).unwrap();
+        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.run_until(SimTime::from_secs(1));
+        assert_eq!(rt.metrics().unrouted, 1);
+    }
+
+    #[test]
+    fn deploy_rejects_duplicate_component() {
+        let mut rt = counter_runtime();
+        let err = rt
+            .add_component("counter", &ComponentDecl::new("Counter", 1, NodeId(0)))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::DuplicateComponent(_)));
+    }
+
+    #[test]
+    fn observe_reports_topology_and_hosting() {
+        let rt = counter_runtime();
+        let snap = rt.observe();
+        assert_eq!(snap.nodes.len(), 2);
+        assert!(snap
+            .node(NodeId(0))
+            .unwrap()
+            .hosted
+            .contains(&"counter".to_owned()));
+    }
+
+    #[test]
+    fn empty_plan_succeeds_immediately() {
+        let mut rt = counter_runtime();
+        rt.request_reconfig(ReconfigPlan::new());
+        assert_eq!(rt.reports().len(), 1);
+        assert!(rt.reports()[0].success);
+        assert_eq!(rt.reports()[0].actions_applied, 0);
+    }
+
+    #[test]
+    fn quiescence_deferred_connector_swap() {
+        // Connector protocol: `frame` then `frame_ack` complete one
+        // collaboration round; between the two the connector is NOT at a
+        // quiescent point and interchange must wait.
+        let mut rt = runtime(2);
+        let mut cfg = Configuration::new();
+        cfg.component("fwd", ComponentDecl::new("Forwarder", 1, NodeId(0)));
+        cfg.component("counter", ComponentDecl::new("Counter", 1, NodeId(1)));
+        let mut lts = crate::lts::Lts::new("round");
+        let idle = lts.add_state("idle");
+        let busy = lts.add_state("busy");
+        lts.set_initial(idle);
+        lts.mark_final(idle);
+        lts.add_transition(idle, crate::lts::Label::recv("tick"), busy);
+        lts.add_transition(busy, crate::lts::Label::recv("tick"), idle);
+        cfg.connector(ConnectorSpec::direct("wire").with_protocol(lts));
+        cfg.bind(BindingDecl::new("fwd", "out", "wire", "counter", "in"));
+        rt.deploy(&cfg).unwrap();
+
+        // One tick: automaton now at `busy` (mid-collaboration).
+        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.run_until(SimTime::from_secs(1));
+        let deferred = rt
+            .adapt_connector_at_quiescence(
+                "wire",
+                ConnectorSpec::direct("wire").with_aspect(ConnectorAspect::Metering),
+            )
+            .unwrap();
+        assert!(!deferred, "mid-collaboration: must defer");
+        assert_eq!(rt.pending_connector_swaps().count(), 1);
+
+        // Second tick completes the round; the swap applies right after.
+        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.run_until(SimTime::from_secs(2));
+        assert_eq!(rt.pending_connector_swaps().count(), 0);
+        // The new connector has the metering aspect and fresh stats.
+        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.run_until(SimTime::from_secs(3));
+        let snap = rt.observe();
+        assert!(snap.connector("wire").unwrap().mean_metered_latency_ms > 0.0);
+        assert_eq!(snap.component("counter").unwrap().processed, 3);
+        assert_eq!(snap.component("counter").unwrap().seq_anomalies, 0);
+    }
+
+    #[test]
+    fn immediate_swap_when_already_quiescent() {
+        let mut rt = runtime(2);
+        let mut cfg = Configuration::new();
+        cfg.component("fwd", ComponentDecl::new("Forwarder", 1, NodeId(0)));
+        cfg.component("counter", ComponentDecl::new("Counter", 1, NodeId(1)));
+        cfg.connector(ConnectorSpec::direct("wire")); // no protocol
+        cfg.bind(BindingDecl::new("fwd", "out", "wire", "counter", "in"));
+        rt.deploy(&cfg).unwrap();
+        let applied = rt
+            .adapt_connector_at_quiescence("wire", ConnectorSpec::direct("wire"))
+            .unwrap();
+        assert!(applied, "protocol-free connectors are always quiescent");
+        assert!(matches!(
+            rt.adapt_connector_at_quiescence("ghost", ConnectorSpec::direct("g")),
+            Err(RuntimeError::UnknownConnector(_))
+        ));
+    }
+
+    #[test]
+    fn bind_rejects_protocol_deadlock() {
+        // A component publishing a protocol that demands `hello` before
+        // serving, bound through a connector whose protocol never offers
+        // it: the composition-correctness check refuses the bind.
+        #[derive(Debug, Default)]
+        struct Picky;
+        impl Component for Picky {
+            fn type_name(&self) -> &str {
+                "Picky"
+            }
+            fn provided(&self) -> Interface {
+                Interface::new("Picky", vec![Signature::one_way("request")])
+            }
+            fn on_message(&mut self, _: &mut CallCtx, _: &Message) -> Result<(), ComponentError> {
+                Ok(())
+            }
+            fn snapshot(&self) -> StateSnapshot {
+                StateSnapshot::new("Picky", 1)
+            }
+            fn restore(&mut self, _: &StateSnapshot) -> Result<(), crate::error::StateError> {
+                Ok(())
+            }
+            fn protocol(&self) -> Option<crate::lts::Lts> {
+                let mut l = crate::lts::Lts::new("picky");
+                let s0 = l.add_state("hello-first");
+                let s1 = l.add_state("serving");
+                l.set_initial(s0);
+                l.mark_final(s1);
+                l.add_transition(s0, crate::lts::Label::recv("hello"), s1);
+                l.add_transition(s1, crate::lts::Label::recv("request"), s1);
+                // `hello` is also in the connector's alphabet below.
+                Some(l)
+            }
+        }
+        let mut reg = registry();
+        reg.register("Picky", 1, |_| Box::new(Picky));
+        let topo = Topology::clique(2, 100.0, SimDuration::from_millis(1), 1e6);
+        let mut rt = Runtime::new(topo, 1, reg);
+        rt.add_component("fwd", &ComponentDecl::new("Forwarder", 1, NodeId(0)))
+            .unwrap();
+        rt.add_component("picky", &ComponentDecl::new("Picky", 1, NodeId(1)))
+            .unwrap();
+        // Connector protocol: hands over `request` and `hello`, but can
+        // only deliver `hello` *after* a request was seen — deadlock with
+        // the picky server (each waits for the other).
+        let mut proto = crate::lts::Lts::new("conn");
+        let c0 = proto.add_state("start");
+        let c1 = proto.add_state("after-request");
+        proto.set_initial(c0);
+        proto.mark_final(c0);
+        proto.add_transition(c0, crate::lts::Label::send("request"), c1);
+        proto.add_transition(c1, crate::lts::Label::send("hello"), c0);
+        rt.add_connector(ConnectorSpec::direct("wire").with_protocol(proto))
+            .unwrap();
+        let err = rt
+            .add_binding(BindingDecl::new("fwd", "out", "wire", "picky", "in"))
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::IncompatibleProtocols { ref component, .. } if component == "picky"),
+            "got {err}"
+        );
+
+        // A compatible server binds fine through the same connector.
+        assert!(rt
+            .add_binding(BindingDecl::new("fwd", "out", "wire", "counter_like", "in"))
+            .is_err()); // unknown component, sanity
+        rt.add_component("plain", &ComponentDecl::new("Counter", 1, NodeId(1)))
+            .unwrap();
+        rt.add_binding(BindingDecl::new("fwd", "out", "wire", "plain", "in"))
+            .unwrap();
+    }
+
+    #[test]
+    fn connector_protocol_violations_surface_as_events() {
+        let mut rt = runtime(2);
+        let mut cfg = Configuration::new();
+        cfg.component("fwd", ComponentDecl::new("Forwarder", 1, NodeId(0)));
+        cfg.component("counter", ComponentDecl::new("Counter", 1, NodeId(1)));
+        // A protocol that demands an `init` before any `tick`: the very
+        // first `tick` is a collaboration violation.
+        let mut lts = crate::lts::Lts::new("strict");
+        let s0 = lts.add_state("wait-init");
+        let s1 = lts.add_state("ready");
+        lts.set_initial(s0);
+        lts.mark_final(s1);
+        lts.add_transition(s0, crate::lts::Label::recv("init"), s1);
+        lts.add_transition(s1, crate::lts::Label::recv("tick"), s1);
+        cfg.connector(ConnectorSpec::direct("wire").with_protocol(lts));
+        cfg.bind(BindingDecl::new("fwd", "out", "wire", "counter", "in"));
+        rt.deploy(&cfg).unwrap();
+
+        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.run_until(SimTime::from_secs(1));
+        let events = rt.drain_events();
+        assert!(
+            events.iter().any(|(_, e)| matches!(
+                e,
+                RuntimeEvent::ProtocolViolation { connector, .. } if connector == "wire"
+            )),
+            "expected a protocol violation event"
+        );
+        // Open-world mode: the message still went through.
+        assert_eq!(rt.observe().component("counter").unwrap().processed, 1);
+    }
+
+    #[test]
+    fn inject_to_unknown_component_errors() {
+        let mut rt = counter_runtime();
+        assert!(matches!(
+            rt.inject("ghost", Message::request("tick", Value::Null)),
+            Err(RuntimeError::UnknownComponent(_))
+        ));
+        assert!(matches!(
+            rt.inject_after(SimDuration::from_secs(1), "ghost", Message::request("tick", Value::Null)),
+            Err(RuntimeError::UnknownComponent(_))
+        ));
+    }
+
+    #[test]
+    fn remove_connector_in_use_fails_then_succeeds_after_unbind() {
+        let mut rt = runtime(2);
+        let mut cfg = Configuration::new();
+        cfg.component("fwd", ComponentDecl::new("Forwarder", 1, NodeId(0)));
+        cfg.component("counter", ComponentDecl::new("Counter", 1, NodeId(1)));
+        cfg.connector(ConnectorSpec::direct("wire"));
+        cfg.bind(BindingDecl::new("fwd", "out", "wire", "counter", "in"));
+        rt.deploy(&cfg).unwrap();
+
+        rt.request_reconfig(ReconfigPlan::single(ReconfigAction::RemoveConnector {
+            name: "wire".into(),
+        }));
+        rt.run_until(SimTime::from_secs(1));
+        assert!(!rt.reports()[0].success, "in use: must fail");
+
+        let plan: ReconfigPlan = vec![
+            ReconfigAction::Unbind {
+                from: ("fwd".into(), "out".into()),
+            },
+            ReconfigAction::RemoveConnector {
+                name: "wire".into(),
+            },
+        ]
+        .into_iter()
+        .collect();
+        rt.request_reconfig(plan);
+        rt.run_until(SimTime::from_secs(2));
+        assert!(rt.reports()[1].success);
+    }
+
+    #[test]
+    fn component_timers_drive_behavior() {
+        // MediaSource-style timer loops work through the runtime's
+        // ComponentTimer plumbing: set a timer from a handler, receive the
+        // callback, set another.
+        #[derive(Debug, Default)]
+        struct Ticker {
+            ticks: i64,
+        }
+        impl Component for Ticker {
+            fn type_name(&self) -> &str {
+                "Ticker"
+            }
+            fn provided(&self) -> Interface {
+                Interface::new("Ticker", vec![Signature::one_way("start")])
+            }
+            fn on_message(
+                &mut self,
+                ctx: &mut CallCtx,
+                _msg: &Message,
+            ) -> Result<(), ComponentError> {
+                ctx.set_timer(SimDuration::from_millis(100), 7);
+                Ok(())
+            }
+            fn on_timer(&mut self, ctx: &mut CallCtx, tag: u64) {
+                assert_eq!(tag, 7);
+                self.ticks += 1;
+                ctx.metric("ticks", self.ticks as f64);
+                if self.ticks < 5 {
+                    ctx.set_timer(SimDuration::from_millis(100), 7);
+                }
+            }
+            fn snapshot(&self) -> StateSnapshot {
+                StateSnapshot::new("Ticker", 1).with_field("ticks", Value::from(self.ticks))
+            }
+            fn restore(&mut self, s: &StateSnapshot) -> Result<(), crate::error::StateError> {
+                self.ticks = s.require("ticks")?.as_int().unwrap_or(0);
+                Ok(())
+            }
+        }
+        let mut reg = registry();
+        reg.register("Ticker", 1, |_| Box::new(Ticker::default()));
+        let topo = Topology::clique(1, 100.0, SimDuration::from_millis(1), 1e6);
+        let mut rt = Runtime::new(topo, 1, reg);
+        let mut cfg = Configuration::new();
+        cfg.component("ticker", ComponentDecl::new("Ticker", 1, NodeId(0)));
+        rt.deploy(&cfg).unwrap();
+        rt.inject("ticker", Message::event("start", Value::Null)).unwrap();
+        rt.run_until(SimTime::from_secs(5));
+        let snap = rt.observe();
+        let obs = snap.component("ticker").unwrap();
+        assert_eq!(obs.custom.get("ticks").copied(), Some(3.0), "mean of 1..=5");
+    }
+
+    #[test]
+    fn structural_add_and_bind_at_runtime() {
+        let mut rt = counter_runtime();
+        let plan: ReconfigPlan = vec![
+            ReconfigAction::AddComponent {
+                name: "fwd".into(),
+                decl: ComponentDecl::new("Forwarder", 1, NodeId(1)),
+            },
+            ReconfigAction::AddConnector {
+                name: "wire".into(),
+                spec: ConnectorSpec::direct("wire"),
+            },
+            ReconfigAction::Bind(BindingDecl::new("fwd", "out", "wire", "counter", "in")),
+        ]
+        .into_iter()
+        .collect();
+        rt.request_reconfig(plan);
+        rt.run_until(SimTime::from_secs(1));
+        assert!(rt.reports()[0].success);
+        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.run_until(SimTime::from_secs(2));
+        assert_eq!(rt.observe().component("counter").unwrap().processed, 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Fault injection: scheduled node crashes and link outages.
+//!
+//! The paper names fault tolerance and "network outages" as adaptation
+//! drivers; the fault schedule lets experiments inject them at precise
+//! virtual times.
+
+use crate::link::LinkId;
+use crate::node::NodeId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A single fault (or recovery) applied to the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Node stops: jobs no longer run, messages to/from it are dropped.
+    NodeCrash(NodeId),
+    /// Node comes back (with empty queue).
+    NodeRecover(NodeId),
+    /// Link goes down: routing avoids it; messages mid-flight still arrive
+    /// (they were already serialized onto the wire).
+    LinkDown(LinkId),
+    /// Link comes back.
+    LinkUp(LinkId),
+}
+
+/// A time-ordered schedule of faults to inject into a run.
+///
+/// # Examples
+///
+/// ```
+/// use aas_sim::fault::{FaultKind, FaultSchedule};
+/// use aas_sim::node::NodeId;
+/// use aas_sim::time::SimTime;
+///
+/// let mut s = FaultSchedule::new();
+/// s.at(SimTime::from_secs(10), FaultKind::NodeCrash(NodeId(2)));
+/// s.at(SimTime::from_secs(20), FaultKind::NodeRecover(NodeId(2)));
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    entries: Vec<(SimTime, FaultKind)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Schedules `fault` at time `at`.
+    pub fn at(&mut self, at: SimTime, fault: FaultKind) -> &mut Self {
+        self.entries.push((at, fault));
+        self
+    }
+
+    /// Convenience: node down over `[from, to)`.
+    pub fn node_outage(&mut self, node: NodeId, from: SimTime, to: SimTime) -> &mut Self {
+        self.at(from, FaultKind::NodeCrash(node));
+        self.at(to, FaultKind::NodeRecover(node));
+        self
+    }
+
+    /// Convenience: link down over `[from, to)`.
+    pub fn link_outage(&mut self, link: LinkId, from: SimTime, to: SimTime) -> &mut Self {
+        self.at(from, FaultKind::LinkDown(link));
+        self.at(to, FaultKind::LinkUp(link));
+        self
+    }
+
+    /// Number of scheduled faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consumes the schedule, yielding `(time, fault)` pairs in submission
+    /// order (the kernel's event queue orders them by time).
+    pub fn into_entries(self) -> impl Iterator<Item = (SimTime, FaultKind)> {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let mut s = FaultSchedule::new();
+        s.node_outage(NodeId(1), SimTime::from_secs(1), SimTime::from_secs(2))
+            .link_outage(LinkId(0), SimTime::from_secs(3), SimTime::from_secs(4));
+        assert_eq!(s.len(), 4);
+        let kinds: Vec<FaultKind> = s.into_entries().map(|(_, k)| k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FaultKind::NodeCrash(NodeId(1)),
+                FaultKind::NodeRecover(NodeId(1)),
+                FaultKind::LinkDown(LinkId(0)),
+                FaultKind::LinkUp(LinkId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_schedule_is_empty() {
+        assert!(FaultSchedule::new().is_empty());
+    }
+}

@@ -1,0 +1,608 @@
+//! The discrete-event simulation kernel.
+//!
+//! A [`Kernel`] owns virtual time, the event queue, the [`Topology`],
+//! channels and the fault schedule. Higher layers (the component runtime in
+//! `aas-core`) drive it by calling [`Kernel::step`] in a loop and reacting
+//! to the [`Fired`] occurrences it yields.
+
+use crate::channel::{Channel, ChannelId, ChannelStats, DropReason, HeldMessage};
+use crate::event::EventQueue;
+use crate::fault::{FaultKind, FaultSchedule};
+use crate::network::Topology;
+use crate::node::NodeId;
+use crate::rng::SimRng;
+use crate::stats::Counters;
+use crate::time::{SimDuration, SimTime};
+
+/// Outcome of a [`Kernel::send`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message was accepted and will arrive after this transit time
+    /// (plus any FIFO queueing behind earlier messages).
+    Sent(SimDuration),
+    /// The message was dropped immediately.
+    Dropped(DropReason),
+}
+
+impl SendOutcome {
+    /// True if the message was accepted.
+    #[must_use]
+    pub fn is_sent(&self) -> bool {
+        matches!(self, SendOutcome::Sent(_))
+    }
+}
+
+/// Internal event representation.
+#[derive(Debug)]
+enum KernelEvent<M> {
+    Deliver {
+        channel: ChannelId,
+        msg: M,
+        size: u64,
+        sent_at: SimTime,
+    },
+    Timer {
+        tag: u64,
+    },
+    Fault(FaultKind),
+}
+
+/// An occurrence handed to the caller by [`Kernel::step`].
+#[derive(Debug)]
+pub enum Fired<M> {
+    /// A message arrived on a channel.
+    Delivered {
+        /// The channel it arrived on.
+        channel: ChannelId,
+        /// The payload.
+        msg: M,
+        /// Payload size in bytes (as given at send time).
+        size: u64,
+        /// When it was sent; `now - sent_at` is its end-to-end delay.
+        sent_at: SimTime,
+    },
+    /// A timer set with [`Kernel::set_timer`] expired.
+    Timer {
+        /// The tag given at scheduling time.
+        tag: u64,
+    },
+    /// A scheduled fault was applied to the topology. The topology has
+    /// already been updated when this is yielded.
+    Fault(FaultKind),
+    /// A message was dropped at delivery time (destination down or channel
+    /// closed). Yielded so protocols can count losses.
+    DroppedAtDelivery {
+        /// The channel the message was traveling on.
+        channel: ChannelId,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+}
+
+/// The simulation kernel.
+///
+/// # Examples
+///
+/// ```
+/// use aas_sim::kernel::{Kernel, Fired};
+/// use aas_sim::network::Topology;
+/// use aas_sim::time::{SimDuration, SimTime};
+///
+/// let topo = Topology::clique(2, 100.0, SimDuration::from_millis(1), 1e6);
+/// let mut k: Kernel<&'static str> = Kernel::new(topo, 42);
+/// let ids: Vec<_> = k.topology().node_ids().collect();
+/// let ch = k.open_channel(ids[0], ids[1]);
+/// k.send(ch, "hello", 100);
+/// let (at, fired) = k.step().expect("one event pending");
+/// match fired {
+///     Fired::Delivered { msg, .. } => assert_eq!(msg, "hello"),
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// assert!(at > SimTime::ZERO);
+/// ```
+#[derive(Debug)]
+pub struct Kernel<M> {
+    now: SimTime,
+    queue: EventQueue<KernelEvent<M>>,
+    topology: Topology,
+    channels: Vec<Channel<M>>,
+    rng: SimRng,
+    counters: Counters,
+    next_timer_tag: u64,
+}
+
+impl<M> Kernel<M> {
+    /// Creates a kernel over `topology`, seeded with `seed`.
+    #[must_use]
+    pub fn new(topology: Topology, seed: u64) -> Self {
+        Kernel {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            topology,
+            channels: Vec::new(),
+            rng: SimRng::seed_from(seed),
+            counters: Counters::new(),
+            next_timer_tag: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology (read access).
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The topology (mutable access, e.g. for job execution on nodes).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// The kernel's RNG stream (deterministic per seed).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Kernel-level counters (`sent`, `delivered`, `dropped`, …).
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    // ----- channels --------------------------------------------------
+
+    /// Opens a FIFO channel from `src` to `dst`, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node does not exist in the topology.
+    pub fn open_channel(&mut self, src: NodeId, dst: NodeId) -> ChannelId {
+        assert!((src.0 as usize) < self.topology.node_count(), "bad src");
+        assert!((dst.0 as usize) < self.topology.node_count(), "bad dst");
+        let id = ChannelId(self.channels.len() as u64);
+        self.channels.push(Channel::new(id, src, dst));
+        id
+    }
+
+    /// Closes a channel; messages still in flight will be dropped at
+    /// delivery time with [`DropReason::ChannelClosed`].
+    pub fn close_channel(&mut self, ch: ChannelId) {
+        self.channel_mut(ch).open = false;
+    }
+
+    /// Rebinds a channel's endpoints (used when a component migrates).
+    /// Messages already in flight are unaffected; new sends use the new
+    /// endpoints.
+    pub fn rebind_channel(&mut self, ch: ChannelId, src: NodeId, dst: NodeId) {
+        let c = self.channel_mut(ch);
+        c.src = src;
+        c.dst = dst;
+    }
+
+    /// The `(src, dst)` endpoints of a channel.
+    #[must_use]
+    pub fn channel_endpoints(&self, ch: ChannelId) -> (NodeId, NodeId) {
+        let c = self.channel(ch);
+        (c.src, c.dst)
+    }
+
+    /// Per-channel statistics.
+    #[must_use]
+    pub fn channel_stats(&self, ch: ChannelId) -> ChannelStats {
+        self.channel(ch).stats
+    }
+
+    /// Whether the channel is currently blocked.
+    #[must_use]
+    pub fn is_blocked(&self, ch: ChannelId) -> bool {
+        self.channel(ch).blocked
+    }
+
+    /// Blocks a channel: subsequent deliveries are held, in order, until
+    /// [`Kernel::unblock_channel`]. Sending is still allowed (messages
+    /// travel and then wait at the destination), exactly the Polylith
+    /// "manage messages in transit" behaviour the paper describes.
+    pub fn block_channel(&mut self, ch: ChannelId) {
+        self.channel_mut(ch).blocked = true;
+    }
+
+    /// Unblocks a channel, rescheduling all held messages for immediate
+    /// delivery in their original order.
+    pub fn unblock_channel(&mut self, ch: ChannelId) {
+        let now = self.now;
+        let c = self.channel_mut(ch);
+        c.blocked = false;
+        let held: Vec<HeldMessage<M>> = c.held.drain(..).collect();
+        let held_count = held.len() as u64;
+        c.stats.held = 0;
+        for h in held {
+            self.queue.push(
+                now,
+                KernelEvent::Deliver {
+                    channel: ch,
+                    msg: h.msg,
+                    size: h.size,
+                    sent_at: h.sent_at,
+                },
+            );
+        }
+        self.counters.add("released", held_count);
+    }
+
+    /// Sends `msg` of `size` bytes on channel `ch`.
+    ///
+    /// Transit time is the routed path's latency plus serialization delay;
+    /// FIFO order per channel is enforced even when later routes would be
+    /// faster.
+    pub fn send(&mut self, ch: ChannelId, msg: M, size: u64) -> SendOutcome {
+        let (src, dst, open) = {
+            let c = self.channel(ch);
+            (c.src, c.dst, c.open)
+        };
+        if !open {
+            self.channel_mut(ch).stats.dropped += 1;
+            self.counters.incr("dropped");
+            return SendOutcome::Dropped(DropReason::ChannelClosed);
+        }
+        let Some(route) = self.topology.route(src, dst, size) else {
+            self.channel_mut(ch).stats.dropped += 1;
+            self.counters.incr("dropped");
+            return SendOutcome::Dropped(DropReason::Unreachable);
+        };
+        self.topology.account_route(&route, size);
+        let arrival = (self.now + route.transit).max(self.channel(ch).fifo_tail);
+        {
+            let c = self.channel_mut(ch);
+            c.fifo_tail = arrival;
+            c.stats.sent += 1;
+        }
+        self.counters.incr("sent");
+        let sent_at = self.now;
+        self.queue.push(
+            arrival,
+            KernelEvent::Deliver {
+                channel: ch,
+                msg,
+                size,
+                sent_at,
+            },
+        );
+        SendOutcome::Sent(arrival.saturating_since(self.now))
+    }
+
+    fn channel(&self, ch: ChannelId) -> &Channel<M> {
+        &self.channels[ch.0 as usize]
+    }
+
+    fn channel_mut(&mut self, ch: ChannelId) -> &mut Channel<M> {
+        &mut self.channels[ch.0 as usize]
+    }
+
+    // ----- timers -----------------------------------------------------
+
+    /// Schedules a timer to fire after `delay`; returns its tag.
+    pub fn set_timer(&mut self, delay: SimDuration) -> u64 {
+        let tag = self.next_timer_tag;
+        self.next_timer_tag += 1;
+        self.queue.push(self.now + delay, KernelEvent::Timer { tag });
+        tag
+    }
+
+    /// Schedules a timer with a caller-chosen tag. Tags supplied here may
+    /// collide with automatic tags if mixed carelessly; prefer one scheme
+    /// per runtime.
+    pub fn set_timer_with_tag(&mut self, delay: SimDuration, tag: u64) {
+        self.queue.push(self.now + delay, KernelEvent::Timer { tag });
+    }
+
+    // ----- faults -----------------------------------------------------
+
+    /// Injects every fault in `schedule` as future events.
+    pub fn inject_faults(&mut self, schedule: FaultSchedule) {
+        for (at, kind) in schedule.into_entries() {
+            self.queue.push(at, KernelEvent::Fault(kind));
+        }
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::NodeCrash(n) => self.topology.node_mut(n).set_up(false),
+            FaultKind::NodeRecover(n) => self.topology.node_mut(n).set_up(true),
+            FaultKind::LinkDown(l) => self.topology.link_mut(l).set_up(false),
+            FaultKind::LinkUp(l) => self.topology.link_mut(l).set_up(true),
+        }
+        self.counters.incr("faults_applied");
+    }
+
+    // ----- the engine loop ---------------------------------------------
+
+    /// Advances to the next event and returns it, or `None` when the queue
+    /// is empty. Virtual time never goes backwards.
+    pub fn step(&mut self) -> Option<(SimTime, Fired<M>)> {
+        loop {
+            let (at, ev) = self.queue.pop()?;
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            match ev {
+                KernelEvent::Timer { tag } => {
+                    return Some((at, Fired::Timer { tag }));
+                }
+                KernelEvent::Fault(kind) => {
+                    self.apply_fault(kind);
+                    return Some((at, Fired::Fault(kind)));
+                }
+                KernelEvent::Deliver {
+                    channel,
+                    msg,
+                    size,
+                    sent_at,
+                } => {
+                    let (open, blocked, dst) = {
+                        let c = self.channel(channel);
+                        (c.open, c.blocked, c.dst)
+                    };
+                    if !open {
+                        self.channel_mut(channel).stats.dropped += 1;
+                        self.counters.incr("dropped");
+                        return Some((
+                            at,
+                            Fired::DroppedAtDelivery {
+                                channel,
+                                reason: DropReason::ChannelClosed,
+                            },
+                        ));
+                    }
+                    if blocked {
+                        let c = self.channel_mut(channel);
+                        c.held.push_back(HeldMessage { msg, size, sent_at });
+                        c.stats.held = c.held.len() as u64;
+                        self.counters.incr("held");
+                        continue; // invisible to the application; keep stepping
+                    }
+                    if !self.topology.node(dst).is_up() {
+                        self.channel_mut(channel).stats.dropped += 1;
+                        self.counters.incr("dropped");
+                        return Some((
+                            at,
+                            Fired::DroppedAtDelivery {
+                                channel,
+                                reason: DropReason::DestinationDown,
+                            },
+                        ));
+                    }
+                    self.channel_mut(channel).stats.delivered += 1;
+                    self.counters.incr("delivered");
+                    return Some((
+                        at,
+                        Fired::Delivered {
+                            channel,
+                            msg,
+                            size,
+                            sent_at,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Whether any events are pending.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Time of the next pending event, if any.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Runs a job of `cost` work units on `node`, returning the total delay
+    /// (queueing + service) from now until completion, or `None` if the
+    /// node is down.
+    pub fn run_job(&mut self, node: NodeId, cost: f64) -> Option<SimDuration> {
+        let now = self.now;
+        let n = self.topology.node_mut(node);
+        if !n.is_up() {
+            return None;
+        }
+        Some(n.run_job(now, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn kernel2() -> (Kernel<u32>, NodeId, NodeId) {
+        let topo = Topology::clique(2, 100.0, SimDuration::from_millis(10), 1e6);
+        let k: Kernel<u32> = Kernel::new(topo, 1);
+        (k, NodeId(0), NodeId(1))
+    }
+
+    fn drain(k: &mut Kernel<u32>) -> Vec<(SimTime, Fired<u32>)> {
+        std::iter::from_fn(|| k.step()).collect()
+    }
+
+    #[test]
+    fn message_arrives_after_transit() {
+        let (mut k, a, b) = kernel2();
+        let ch = k.open_channel(a, b);
+        let out = k.send(ch, 7, 1000);
+        // 10 ms latency + 1000B / 1MB/s = 1 ms  => 11 ms
+        assert_eq!(out, SendOutcome::Sent(SimDuration::from_millis(11)));
+        let (at, fired) = k.step().unwrap();
+        assert_eq!(at, SimTime::from_millis(11));
+        assert!(matches!(fired, Fired::Delivered { msg: 7, .. }));
+        assert_eq!(k.now(), SimTime::from_millis(11));
+    }
+
+    #[test]
+    fn fifo_holds_even_for_smaller_later_messages() {
+        let (mut k, a, b) = kernel2();
+        let ch = k.open_channel(a, b);
+        k.send(ch, 1, 1_000_000); // slow: 10ms + 1s
+        k.send(ch, 2, 0); // fast alone, but must queue behind
+        let events = drain(&mut k);
+        let order: Vec<u32> = events
+            .iter()
+            .filter_map(|(_, f)| match f {
+                Fired::Delivered { msg, .. } => Some(*msg),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn blocked_channel_holds_and_releases_in_order() {
+        let (mut k, a, b) = kernel2();
+        let ch = k.open_channel(a, b);
+        k.block_channel(ch);
+        for i in 0..5 {
+            k.send(ch, i, 10);
+        }
+        // Stepping now yields nothing visible: all messages are held.
+        assert!(k.step().is_none());
+        assert_eq!(k.channel_stats(ch).held, 5);
+
+        k.unblock_channel(ch);
+        let order: Vec<u32> = drain(&mut k)
+            .iter()
+            .filter_map(|(_, f)| match f {
+                Fired::Delivered { msg, .. } => Some(*msg),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        let stats = k.channel_stats(ch);
+        assert_eq!(stats.delivered, 5);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.held, 0);
+    }
+
+    #[test]
+    fn closed_channel_drops_at_send_and_delivery() {
+        let (mut k, a, b) = kernel2();
+        let ch = k.open_channel(a, b);
+        k.send(ch, 1, 10); // in flight
+        k.close_channel(ch);
+        let out = k.send(ch, 2, 10);
+        assert_eq!(out, SendOutcome::Dropped(DropReason::ChannelClosed));
+        let events = drain(&mut k);
+        assert!(events.iter().any(|(_, f)| matches!(
+            f,
+            Fired::DroppedAtDelivery {
+                reason: DropReason::ChannelClosed,
+                ..
+            }
+        )));
+        assert_eq!(k.channel_stats(ch).dropped, 2);
+    }
+
+    #[test]
+    fn crashing_destination_drops_in_flight_messages() {
+        let (mut k, a, b) = kernel2();
+        let ch = k.open_channel(a, b);
+        let mut faults = FaultSchedule::new();
+        faults.at(SimTime::from_millis(1), FaultKind::NodeCrash(b));
+        k.inject_faults(faults);
+        k.send(ch, 1, 10); // arrives at ~10ms, after the crash
+        let events = drain(&mut k);
+        assert!(events.iter().any(|(_, f)| matches!(f, Fired::Fault(_))));
+        assert!(events.iter().any(|(_, f)| matches!(
+            f,
+            Fired::DroppedAtDelivery {
+                reason: DropReason::DestinationDown,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn dead_source_cannot_send() {
+        let (mut k, a, b) = kernel2();
+        let ch = k.open_channel(a, b);
+        k.topology_mut().node_mut(a).set_up(false);
+        assert_eq!(
+            k.send(ch, 1, 10),
+            SendOutcome::Dropped(DropReason::Unreachable)
+        );
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_tags() {
+        let (mut k, _, _) = kernel2();
+        let t1 = k.set_timer(SimDuration::from_millis(20));
+        let t2 = k.set_timer(SimDuration::from_millis(10));
+        let fired: Vec<u64> = drain(&mut k)
+            .iter()
+            .filter_map(|(_, f)| match f {
+                Fired::Timer { tag } => Some(*tag),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fired, vec![t2, t1]);
+    }
+
+    #[test]
+    fn recovery_restores_delivery() {
+        let (mut k, a, b) = kernel2();
+        let ch = k.open_channel(a, b);
+        let mut faults = FaultSchedule::new();
+        faults.node_outage(b, SimTime::from_millis(0), SimTime::from_millis(50));
+        k.inject_faults(faults);
+        // Step through both fault events.
+        let _ = k.step();
+        let _ = k.step();
+        assert_eq!(k.now(), SimTime::from_millis(50));
+        let out = k.send(ch, 9, 10);
+        assert!(out.is_sent());
+        let events = drain(&mut k);
+        assert!(events
+            .iter()
+            .any(|(_, f)| matches!(f, Fired::Delivered { msg: 9, .. })));
+    }
+
+    #[test]
+    fn rebind_affects_future_sends_only() {
+        let topo = Topology::clique(3, 100.0, SimDuration::from_millis(10), 1e6);
+        let mut k: Kernel<u32> = Kernel::new(topo, 1);
+        let ch = k.open_channel(NodeId(0), NodeId(1));
+        k.send(ch, 1, 10);
+        k.rebind_channel(ch, NodeId(0), NodeId(2));
+        assert_eq!(k.channel_endpoints(ch), (NodeId(0), NodeId(2)));
+        k.send(ch, 2, 10);
+        let delivered = drain(&mut k)
+            .iter()
+            .filter(|(_, f)| matches!(f, Fired::Delivered { .. }))
+            .count();
+        assert_eq!(delivered, 2);
+    }
+
+    #[test]
+    fn counters_track_lifecycle() {
+        let (mut k, a, b) = kernel2();
+        let ch = k.open_channel(a, b);
+        k.send(ch, 1, 10);
+        let _ = drain(&mut k);
+        assert_eq!(k.counters().get("sent"), 1);
+        assert_eq!(k.counters().get("delivered"), 1);
+        assert_eq!(k.counters().get("dropped"), 0);
+    }
+
+    #[test]
+    fn run_job_respects_node_state() {
+        let (mut k, a, _) = kernel2();
+        assert!(k.run_job(a, 10.0).is_some());
+        k.topology_mut().node_mut(a).set_up(false);
+        assert!(k.run_job(a, 10.0).is_none());
+    }
+}

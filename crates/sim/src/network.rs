@@ -1,0 +1,358 @@
+//! Network topology and routing.
+//!
+//! A [`Topology`] owns the nodes and links of the simulated deployment and
+//! answers routing queries: what is the latency-cheapest live path between
+//! two nodes, and how long does a message of a given size take along it?
+
+use crate::link::{Link, LinkId, LinkSpec};
+use crate::node::{Node, NodeId, NodeSpec};
+use crate::time::{SimDuration, SimTime};
+use std::collections::BinaryHeap;
+
+/// A routed path: the links traversed and the total transit time for the
+/// queried message size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Links in traversal order; empty for local (same-node) delivery.
+    pub links: Vec<LinkId>,
+    /// End-to-end transit time for the queried size.
+    pub transit: SimDuration,
+}
+
+/// Transit time charged for a message that never leaves its node.
+pub const LOCAL_TRANSIT: SimDuration = SimDuration::from_micros(5);
+
+/// The simulated deployment graph.
+///
+/// # Examples
+///
+/// ```
+/// use aas_sim::network::Topology;
+/// use aas_sim::node::NodeSpec;
+/// use aas_sim::link::LinkSpec;
+/// use aas_sim::time::SimDuration;
+///
+/// let mut topo = Topology::new();
+/// let a = topo.add_node(NodeSpec::new("a", 100.0));
+/// let b = topo.add_node(NodeSpec::new("b", 100.0));
+/// topo.add_link(LinkSpec::new(a, b, SimDuration::from_millis(5), 1e6));
+/// let route = topo.route(a, b, 0).expect("reachable");
+/// assert_eq!(route.transit, SimDuration::from_millis(5));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    adjacency: Vec<Vec<LinkId>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    #[must_use]
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(id, spec));
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds a bidirectional link, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint does not exist.
+    pub fn add_link(&mut self, spec: LinkSpec) -> LinkId {
+        assert!(
+            (spec.a.0 as usize) < self.nodes.len() && (spec.b.0 as usize) < self.nodes.len(),
+            "link endpoint does not exist"
+        );
+        let id = LinkId(self.links.len() as u32);
+        self.adjacency[spec.a.0 as usize].push(id);
+        self.adjacency[spec.b.0 as usize].push(id);
+        self.links.push(Link::new(id, spec));
+        id
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Immutable access to a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Mutable access to a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0 as usize]
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// Iterates over all links.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(|i| NodeId(i as u32))
+    }
+
+    /// Finds the latency-cheapest live path from `src` to `dst` for a
+    /// message of `size` bytes.
+    ///
+    /// Returns `None` if either endpoint is down or no live path exists.
+    /// Local delivery (`src == dst`) costs [`LOCAL_TRANSIT`].
+    #[must_use]
+    pub fn route(&self, src: NodeId, dst: NodeId, size: u64) -> Option<Route> {
+        if !self.node(src).is_up() || !self.node(dst).is_up() {
+            return None;
+        }
+        if src == dst {
+            return Some(Route {
+                links: Vec::new(),
+                transit: LOCAL_TRANSIT,
+            });
+        }
+        // Dijkstra over per-message transit time (latency + serialization).
+        let n = self.nodes.len();
+        let mut dist: Vec<Option<SimDuration>> = vec![None; n];
+        let mut prev: Vec<Option<LinkId>> = vec![None; n];
+        let mut heap: BinaryHeap<std::cmp::Reverse<(SimDuration, u32)>> = BinaryHeap::new();
+        dist[src.0 as usize] = Some(SimDuration::ZERO);
+        heap.push(std::cmp::Reverse((SimDuration::ZERO, src.0)));
+
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if dist[u as usize] != Some(d) {
+                continue;
+            }
+            if u == dst.0 {
+                break;
+            }
+            for &lid in &self.adjacency[u as usize] {
+                let link = self.link(lid);
+                if !link.is_up() {
+                    continue;
+                }
+                let Some(v) = link.opposite(NodeId(u)) else {
+                    continue;
+                };
+                if !self.node(v).is_up() {
+                    continue;
+                }
+                let nd = d + link.transit(size);
+                let better = match dist[v.0 as usize] {
+                    None => true,
+                    Some(old) => nd < old,
+                };
+                if better {
+                    dist[v.0 as usize] = Some(nd);
+                    prev[v.0 as usize] = Some(lid);
+                    heap.push(std::cmp::Reverse((nd, v.0)));
+                }
+            }
+        }
+
+        let transit = dist[dst.0 as usize]?;
+        let mut links = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let lid = prev[cur.0 as usize].expect("path reconstruction");
+            links.push(lid);
+            cur = self.link(lid).opposite(cur).expect("link endpoint");
+        }
+        links.reverse();
+        Some(Route { links, transit })
+    }
+
+    /// Charges `size` bytes of accounting to each link along `route`.
+    pub fn account_route(&mut self, route: &Route, size: u64) {
+        for &lid in &route.links {
+            self.link_mut(lid).account(size);
+        }
+    }
+
+    /// The spread (max - min) of node utilizations at `now`; a load-balance
+    /// quality measure used by experiment E5.
+    #[must_use]
+    pub fn utilization_spread(&self, now: SimTime) -> f64 {
+        let utils: Vec<f64> = self.nodes.iter().map(|n| n.utilization(now)).collect();
+        if utils.is_empty() {
+            return 0.0;
+        }
+        let max = utils.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = utils.iter().cloned().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+
+    /// Builds a fully-connected clique of `n` identical nodes — a handy
+    /// test fixture.
+    #[must_use]
+    pub fn clique(n: usize, capacity: f64, latency: SimDuration, bandwidth: f64) -> Topology {
+        let mut topo = Topology::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| topo.add_node(NodeSpec::new(format!("n{i}"), capacity)))
+            .collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                topo.add_link(LinkSpec::new(ids[i], ids[j], latency, bandwidth));
+            }
+        }
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> (Topology, NodeId, NodeId, NodeId) {
+        // a --5ms-- b --5ms-- c, plus a direct a--c link at 50ms.
+        let mut t = Topology::new();
+        let a = t.add_node(NodeSpec::new("a", 1.0));
+        let b = t.add_node(NodeSpec::new("b", 1.0));
+        let c = t.add_node(NodeSpec::new("c", 1.0));
+        t.add_link(LinkSpec::new(a, b, SimDuration::from_millis(5), 1e9));
+        t.add_link(LinkSpec::new(b, c, SimDuration::from_millis(5), 1e9));
+        t.add_link(LinkSpec::new(a, c, SimDuration::from_millis(50), 1e9));
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn routes_prefer_cheapest_path() {
+        let (t, a, _b, c) = line3();
+        let r = t.route(a, c, 0).unwrap();
+        assert_eq!(r.links.len(), 2, "should go via b");
+        assert_eq!(r.transit, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn routes_around_dead_links() {
+        let (mut t, a, _b, c) = line3();
+        t.link_mut(LinkId(0)).set_up(false); // kill a--b
+        let r = t.route(a, c, 0).unwrap();
+        assert_eq!(r.links, vec![LinkId(2)]);
+        assert_eq!(r.transit, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn routes_around_dead_nodes() {
+        let (mut t, a, b, c) = line3();
+        t.node_mut(b).set_up(false);
+        let r = t.route(a, c, 0).unwrap();
+        assert_eq!(r.links, vec![LinkId(2)]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let (mut t, a, _b, c) = line3();
+        t.link_mut(LinkId(0)).set_up(false);
+        t.link_mut(LinkId(2)).set_up(false);
+        assert!(t.route(a, c, 0).is_none());
+    }
+
+    #[test]
+    fn dead_endpoint_returns_none() {
+        let (mut t, a, _b, c) = line3();
+        t.node_mut(c).set_up(false);
+        assert!(t.route(a, c, 0).is_none());
+        assert!(t.route(c, a, 0).is_none());
+    }
+
+    #[test]
+    fn local_delivery_is_cheap() {
+        let (t, a, _, _) = line3();
+        let r = t.route(a, a, 1_000_000).unwrap();
+        assert!(r.links.is_empty());
+        assert_eq!(r.transit, LOCAL_TRANSIT);
+    }
+
+    #[test]
+    fn size_affects_path_choice() {
+        // Two paths: low-latency low-bandwidth vs high-latency high-bandwidth.
+        let mut t = Topology::new();
+        let a = t.add_node(NodeSpec::new("a", 1.0));
+        let b = t.add_node(NodeSpec::new("b", 1.0));
+        t.add_link(LinkSpec::new(a, b, SimDuration::from_millis(1), 1e3)); // 1 KB/s
+        t.add_link(LinkSpec::new(a, b, SimDuration::from_millis(20), 1e9));
+        // Tiny message: take the 1ms link.
+        assert_eq!(t.route(a, b, 1).unwrap().links, vec![LinkId(0)]);
+        // Big message: serialization dominates, take the fat link.
+        assert_eq!(t.route(a, b, 1_000_000).unwrap().links, vec![LinkId(1)]);
+    }
+
+    #[test]
+    fn clique_is_fully_connected() {
+        let t = Topology::clique(4, 10.0, SimDuration::from_millis(1), 1e6);
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.link_count(), 6);
+        for i in t.node_ids() {
+            for j in t.node_ids() {
+                assert!(t.route(i, j, 0).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_spread_reflects_imbalance() {
+        let mut t = Topology::clique(2, 100.0, SimDuration::from_millis(1), 1e6);
+        t.node_mut(NodeId(0)).run_job(SimTime::ZERO, 100.0); // 1s busy
+        let spread = t.utilization_spread(SimTime::from_secs(2));
+        assert!((spread - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn account_route_charges_links() {
+        let (mut t, a, _b, c) = line3();
+        let r = t.route(a, c, 100).unwrap();
+        t.account_route(&r, 100);
+        assert_eq!(t.link(LinkId(0)).bytes_carried(), 100);
+        assert_eq!(t.link(LinkId(1)).bytes_carried(), 100);
+        assert_eq!(t.link(LinkId(2)).bytes_carried(), 0);
+    }
+}

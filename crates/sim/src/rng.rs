@@ -1,0 +1,237 @@
+//! Deterministic, splittable random-number generation.
+//!
+//! Every stochastic element of a simulation draws from a [`SimRng`] seeded
+//! from the run seed, so that a run is exactly reproducible from its seed.
+//! Independent subsystems should use [`SimRng::split`] to obtain decoupled
+//! streams: drawing more numbers in one subsystem then never perturbs
+//! another.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG stream for one simulation subsystem.
+///
+/// # Examples
+///
+/// ```
+/// use aas_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_f64(), b.next_f64()); // same seed, same stream
+///
+/// let mut net = a.split("network");
+/// let mut load = a.split("load");
+/// // Streams with different labels are decorrelated.
+/// assert_ne!(net.next_u64(), load.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a stream from a root seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this stream was created from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream identified by `label`.
+    ///
+    /// The child depends only on the parent's *seed* and the label — not on
+    /// how many numbers the parent has drawn — so subsystem streams are
+    /// stable under refactoring.
+    #[must_use]
+    pub fn split(&self, label: &str) -> SimRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        SimRng::seed_from(h)
+    }
+
+    /// Next value uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random::<u64>()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a positive bound");
+        self.inner.random_range(0..bound)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// Used for Poisson inter-arrival times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        let u = 1.0 - self.next_f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Approximately normally distributed value (Irwin–Hall sum of 12).
+    ///
+    /// Accurate enough for workload jitter; avoids pulling in a heavier
+    /// distribution dependency.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let s: f64 = (0..12).map(|_| self.next_f64()).sum::<f64>() - 6.0;
+        mean + std_dev * s
+    }
+
+    /// Chooses a uniformly random element of `items`, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.below(items.len() as u64) as usize;
+            Some(&items[i])
+        }
+    }
+
+    /// Fisher–Yates shuffle, in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_is_stable_under_parent_draws() {
+        let mut a = SimRng::seed_from(7);
+        let before = a.split("child");
+        for _ in 0..50 {
+            a.next_u64();
+        }
+        let after = a.split("child");
+        let mut x = before.clone();
+        let mut y = after.clone();
+        assert_eq!(x.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn split_labels_decorrelate() {
+        let root = SimRng::seed_from(1);
+        let mut a = root.split("a");
+        let mut b = root.split("b");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SimRng::seed_from(3);
+        for _ in 0..1_000 {
+            let v = r.uniform(2.0, 5.0);
+            assert!((2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::seed_from(3);
+        for _ in 0..1_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = SimRng::seed_from(11);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| r.exp(4.0)).sum();
+        let mean = total / f64::from(n);
+        assert!((mean - 4.0).abs() < 0.15, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = SimRng::seed_from(13);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-3.0));
+        assert!(r.chance(4.0));
+    }
+
+    #[test]
+    fn choose_and_shuffle_behave() {
+        let mut r = SimRng::seed_from(17);
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+        let items = [1, 2, 3];
+        assert!(items.contains(r.choose(&items).unwrap()));
+
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig); // permutation
+    }
+}

@@ -1,0 +1,256 @@
+//! Session workload generation: Poisson arrivals whose rate follows a
+//! resource trace (rush hour, noise, steps), with exponentially
+//! distributed session lifetimes.
+//!
+//! This is the "fluctuating environment" of the paper's intro — "users get
+//! connected to wireless multimedia telecom services during rush hours" —
+//! in generator form.
+
+use aas_sim::rng::SimRng;
+use aas_sim::time::{SimDuration, SimTime};
+use aas_sim::trace::ResourceTrace;
+
+/// Identifier of a generated session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+/// A workload event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadEvent {
+    /// A session starts.
+    SessionStart(SessionId),
+    /// A session ends.
+    SessionEnd(SessionId),
+}
+
+/// Generates session start/end events over a horizon.
+#[derive(Debug)]
+pub struct LoadGenerator {
+    /// Arrivals per second as a function of time.
+    rate: ResourceTrace,
+    /// Mean session duration.
+    mean_duration: SimDuration,
+    rng: SimRng,
+    next_id: u64,
+}
+
+impl LoadGenerator {
+    /// A generator with time-varying arrival `rate` (sessions/second) and
+    /// exponentially distributed durations with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_duration` is zero.
+    #[must_use]
+    pub fn new(rate: ResourceTrace, mean_duration: SimDuration, rng: SimRng) -> Self {
+        assert!(!mean_duration.is_zero(), "mean duration must be non-zero");
+        LoadGenerator {
+            rate,
+            mean_duration,
+            rng,
+            next_id: 0,
+        }
+    }
+
+    /// Generates all events in `[0, horizon)`, sorted by time.
+    ///
+    /// Arrivals use thinning (rejection sampling) against the trace's
+    /// maximum over the horizon, so the process is a correct
+    /// non-homogeneous Poisson process.
+    pub fn generate(&mut self, horizon: SimTime) -> Vec<(SimTime, LoadEvent)> {
+        // Upper bound of the rate over the horizon (sampled densely).
+        let step = SimDuration::from_micros((horizon.as_micros() / 1000).max(1));
+        let max_rate = self
+            .rate
+            .sample_series(SimTime::ZERO, horizon, step)
+            .into_iter()
+            .map(|(_, r)| r)
+            .fold(0.0_f64, f64::max)
+            .max(1e-9);
+
+        let mut events = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            let gap = self.rng.exp(1.0 / max_rate);
+            t += SimDuration::from_secs_f64(gap);
+            if t >= horizon {
+                break;
+            }
+            // Thinning: accept with probability rate(t) / max_rate.
+            let accept = self.rng.next_f64() < self.rate.sample(t).max(0.0) / max_rate;
+            if !accept {
+                continue;
+            }
+            let id = SessionId(self.next_id);
+            self.next_id += 1;
+            events.push((t, LoadEvent::SessionStart(id)));
+            let dur = SimDuration::from_secs_f64(
+                self.rng.exp(self.mean_duration.as_secs_f64()),
+            );
+            let end = t + dur;
+            if end < horizon {
+                events.push((end, LoadEvent::SessionEnd(id)));
+            }
+        }
+        events.sort_by_key(|(at, e)| {
+            (
+                *at,
+                match e {
+                    LoadEvent::SessionEnd(_) => 0u8, // ends before starts at ties
+                    LoadEvent::SessionStart(_) => 1,
+                },
+            )
+        });
+        events
+    }
+}
+
+/// Counts concurrent sessions over time from an event list; useful for
+/// verifying generated workloads and for plotting offered load.
+#[must_use]
+pub fn concurrency_profile(events: &[(SimTime, LoadEvent)]) -> Vec<(SimTime, u64)> {
+    let mut out = Vec::with_capacity(events.len());
+    let mut active: i64 = 0;
+    for (at, e) in events {
+        match e {
+            LoadEvent::SessionStart(_) => active += 1,
+            LoadEvent::SessionEnd(_) => active -= 1,
+        }
+        out.push((*at, active.max(0) as u64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rush_trace() -> ResourceTrace {
+        ResourceTrace::rush_hour(
+            0.5,  // base arrivals/s
+            5.0,  // peak arrivals/s
+            SimTime::from_secs(300),
+            SimTime::from_secs(600),
+            SimDuration::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn arrivals_track_the_rate() {
+        let mut generator = LoadGenerator::new(
+            rush_trace(),
+            SimDuration::from_secs(30),
+            SimRng::seed_from(1),
+        );
+        let events = generator.generate(SimTime::from_secs(900));
+        let starts_in = |lo: u64, hi: u64| {
+            events
+                .iter()
+                .filter(|(at, e)| {
+                    matches!(e, LoadEvent::SessionStart(_))
+                        && *at >= SimTime::from_secs(lo)
+                        && *at < SimTime::from_secs(hi)
+                })
+                .count() as f64
+        };
+        let off_peak = starts_in(0, 200) / 200.0;
+        let peak = starts_in(350, 550) / 200.0;
+        assert!(
+            peak > off_peak * 4.0,
+            "peak {peak:.2}/s vs off-peak {off_peak:.2}/s"
+        );
+        // Rough absolute calibration.
+        assert!((off_peak - 0.5).abs() < 0.3, "off-peak {off_peak:.2}");
+        assert!((peak - 5.0).abs() < 1.5, "peak {peak:.2}");
+    }
+
+    #[test]
+    fn every_start_precedes_its_end() {
+        let mut generator = LoadGenerator::new(
+            ResourceTrace::constant(2.0),
+            SimDuration::from_secs(10),
+            SimRng::seed_from(3),
+        );
+        let events = generator.generate(SimTime::from_secs(300));
+        let mut started = std::collections::BTreeMap::new();
+        for (at, e) in &events {
+            match e {
+                LoadEvent::SessionStart(id) => {
+                    started.insert(*id, *at);
+                }
+                LoadEvent::SessionEnd(id) => {
+                    let s = started.get(id).expect("end without start");
+                    assert!(at >= s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_are_time_sorted() {
+        let mut generator = LoadGenerator::new(
+            ResourceTrace::constant(3.0),
+            SimDuration::from_secs(5),
+            SimRng::seed_from(9),
+        );
+        let events = generator.generate(SimTime::from_secs(120));
+        assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut g = LoadGenerator::new(
+                rush_trace(),
+                SimDuration::from_secs(20),
+                SimRng::seed_from(seed),
+            );
+            g.generate(SimTime::from_secs(300)).len()
+        };
+        assert_eq!(run(4), run(4));
+    }
+
+    #[test]
+    fn concurrency_profile_counts() {
+        let a = SessionId(0);
+        let b = SessionId(1);
+        let events = vec![
+            (SimTime::from_secs(1), LoadEvent::SessionStart(a)),
+            (SimTime::from_secs(2), LoadEvent::SessionStart(b)),
+            (SimTime::from_secs(3), LoadEvent::SessionEnd(a)),
+            (SimTime::from_secs(4), LoadEvent::SessionEnd(b)),
+        ];
+        let profile = concurrency_profile(&events);
+        let counts: Vec<u64> = profile.iter().map(|(_, c)| *c).collect();
+        assert_eq!(counts, vec![1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn mean_session_duration_is_close() {
+        let mut generator = LoadGenerator::new(
+            ResourceTrace::constant(5.0),
+            SimDuration::from_secs(20),
+            SimRng::seed_from(11),
+        );
+        let events = generator.generate(SimTime::from_secs(2000));
+        let mut starts = std::collections::BTreeMap::new();
+        let mut total = 0.0;
+        let mut n = 0;
+        for (at, e) in &events {
+            match e {
+                LoadEvent::SessionStart(id) => {
+                    starts.insert(*id, *at);
+                }
+                LoadEvent::SessionEnd(id) => {
+                    if let Some(s) = starts.get(id) {
+                        total += at.saturating_since(*s).as_secs_f64();
+                        n += 1;
+                    }
+                }
+            }
+        }
+        let mean = total / f64::from(n);
+        assert!((mean - 20.0).abs() < 3.0, "mean duration {mean}");
+    }
+}

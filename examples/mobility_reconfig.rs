@@ -1,0 +1,188 @@
+//! Geographical reconfiguration driven by user mobility.
+//!
+//! A user walks a 2×2 cell grid (random waypoint). Each cell has an access
+//! point component pinned to that cell's node; the user's media frames
+//! enter at the access point of the current cell and are forwarded to a
+//! serving component. Two deployments are compared:
+//!
+//! - **static** — the server stays on its initial node;
+//! - **follow** — every handover triggers a `Migrate` reconfiguration
+//!   moving the server "closer to the demand" (paper §1: geographical
+//!   changes driven by user mobility).
+//!
+//! The migration path is the full strong-reconfiguration protocol:
+//! quiesce, block channels, transfer state over the (simulated) network,
+//! resume — so the example also reports the blackout cost paid per
+//! handover, and proves no frame was lost in the process.
+//!
+//! Run with: `cargo run --example mobility_reconfig`
+
+use aas_core::config::{BindingDecl, ComponentDecl, Configuration};
+use aas_core::connector::ConnectorSpec;
+use aas_core::message::{Message, Value};
+use aas_core::registry::ImplementationRegistry;
+use aas_core::reconfig::{ReconfigAction, ReconfigPlan};
+use aas_core::runtime::Runtime;
+use aas_sim::network::Topology;
+use aas_sim::node::NodeId;
+use aas_sim::rng::SimRng;
+use aas_sim::time::{SimDuration, SimTime};
+use aas_telecom::mobility::{CellGrid, RandomWaypoint};
+use aas_telecom::services::register_telecom_components;
+
+const HORIZON_SECS: u64 = 240;
+const FRAME_INTERVAL_MS: u64 = 50;
+const MOBILITY_STEP_MS: u64 = 500;
+
+fn build_runtime() -> Runtime {
+    let mut registry = ImplementationRegistry::new();
+    register_telecom_components(&mut registry);
+    // Four cell nodes in a clique, 10 ms apart.
+    let topo = Topology::clique(4, 400.0, SimDuration::from_millis(10), 1e7);
+    let mut rt = Runtime::new(topo, 11, registry);
+
+    let mut cfg = Configuration::new();
+    for cell in 0..4u32 {
+        cfg.component(
+            format!("access{cell}"),
+            ComponentDecl::new("Transcoder", 1, NodeId(cell)),
+        );
+        cfg.connector(ConnectorSpec::direct(format!("uplink{cell}")));
+    }
+    cfg.component("server", ComponentDecl::new("MediaSink", 1, NodeId(0)));
+    for cell in 0..4u32 {
+        cfg.bind(BindingDecl::new(
+            format!("access{cell}"),
+            "out",
+            format!("uplink{cell}"),
+            "server",
+            "in",
+        ));
+    }
+    rt.deploy(&cfg).expect("deploy");
+    rt
+}
+
+struct Outcome {
+    policy: &'static str,
+    frames: u64,
+    mean_latency_ms: f64,
+    p99_latency_ms: f64,
+    handovers: u64,
+    migrations: usize,
+    total_blackout: SimDuration,
+    seq_anomalies: u64,
+}
+
+fn run(follow: bool) -> Outcome {
+    let mut rt = build_runtime();
+    let grid = CellGrid::new(1000.0, 1000.0, 2, 2);
+    let mut rng = SimRng::seed_from(99).split("walk");
+    let mut walker = RandomWaypoint::new(grid, 15.0, 35.0, &mut rng);
+
+    let frame_period = SimDuration::from_millis(FRAME_INTERVAL_MS);
+    let mobility_period = SimDuration::from_millis(MOBILITY_STEP_MS);
+    let horizon = SimTime::from_secs(HORIZON_SECS);
+
+    // Precompute the (deterministic) walk: the serving cell over time and
+    // the handover instants.
+    let mut cell_timeline = vec![(SimTime::ZERO, walker.cell())];
+    let mut t = SimTime::ZERO;
+    while t < horizon {
+        t += mobility_period;
+        if let Some(new_cell) = walker.step(mobility_period, &mut rng) {
+            cell_timeline.push((t, new_cell));
+        }
+    }
+    let handovers = (cell_timeline.len() - 1) as u64;
+
+    // Schedule every media frame at its exact virtual time, entering at
+    // the access point of whichever cell serves the user then.
+    let mut frame_t = SimTime::ZERO;
+    while frame_t < horizon {
+        let cell = cell_timeline
+            .iter()
+            .rev()
+            .find(|(at, _)| *at <= frame_t)
+            .map(|(_, c)| *c)
+            .expect("timeline covers t0");
+        let access = format!("access{}", cell.0);
+        rt.inject_after(
+            frame_t.saturating_since(SimTime::ZERO),
+            &access,
+            Message::event(
+                "frame",
+                Value::map([
+                    ("bytes", Value::Int(4000)),
+                    ("cost", Value::Float(0.2)),
+                    ("quality", Value::Float(0.8)),
+                ]),
+            ),
+        )
+        .expect("schedule frame");
+        frame_t += frame_period;
+    }
+
+    // Drive the run, issuing a migration at each handover instant.
+    for (at, cell) in cell_timeline.iter().skip(1) {
+        rt.run_until(*at);
+        if follow {
+            rt.request_reconfig(ReconfigPlan::single(ReconfigAction::Migrate {
+                name: "server".into(),
+                to: NodeId(cell.0),
+            }));
+        }
+    }
+    rt.run_until(horizon);
+    rt.run_for(SimDuration::from_secs(5));
+
+    let snap = rt.observe();
+    let server = snap.component("server").expect("server");
+    let migrations = rt.reports().len();
+    let total_blackout = rt
+        .reports()
+        .iter()
+        .map(aas_core::reconfig::ReconfigReport::max_blackout)
+        .fold(SimDuration::ZERO, |a, b| a + b);
+
+    Outcome {
+        policy: if follow { "follow-user" } else { "static" },
+        frames: server.processed,
+        mean_latency_ms: server.mean_latency_ms,
+        p99_latency_ms: server.p99_latency_ms,
+        handovers,
+        migrations,
+        total_blackout,
+        seq_anomalies: server.seq_anomalies,
+    }
+}
+
+fn main() {
+    println!(
+        "mobility-driven geographical reconfiguration, {HORIZON_SECS}s walk, \
+         20 frames/s\n"
+    );
+    println!(
+        "{:<12} {:>7} {:>10} {:>10} {:>10} {:>11} {:>10} {:>9}",
+        "policy", "frames", "mean(ms)", "p99(ms)", "handovers", "migrations", "blackout", "anomalies"
+    );
+    for follow in [false, true] {
+        let o = run(follow);
+        println!(
+            "{:<12} {:>7} {:>10.2} {:>10.2} {:>10} {:>11} {:>10} {:>9}",
+            o.policy,
+            o.frames,
+            o.mean_latency_ms,
+            o.p99_latency_ms,
+            o.handovers,
+            o.migrations,
+            o.total_blackout,
+            o.seq_anomalies
+        );
+    }
+    println!(
+        "\nFollowing the user buys lower delivery latency at the price of\n\
+         short blackouts per handover; the sequence-anomaly column shows the\n\
+         channel-preservation guarantee held throughout."
+    );
+}

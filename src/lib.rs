@@ -1,0 +1,23 @@
+//! # aas — auto-adaptive systems, batteries included
+//!
+//! Umbrella crate re-exporting the AAS workspace: a from-scratch Rust
+//! realization of Aksit & Choukair, *"Dynamic, Adaptive and Reconfigurable
+//! Systems: Overview and Prospective Vision"* (ICDCS Workshops 2003).
+//!
+//! - [`sim`] — deterministic discrete-event substrate (`aas-sim`);
+//! - [`core`] — the component runtime: connectors, RAML, dynamic
+//!   reconfiguration (`aas-core`);
+//! - [`adapt`] — the ten dynamic-adaptability mechanisms (`aas-adapt`);
+//! - [`control`] — PID / fuzzy / threshold feedback control (`aas-control`);
+//! - [`adl`] — the architecture description language (`aas-adl`);
+//! - [`telecom`] — the multimedia telecom workload (`aas-telecom`).
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `EXPERIMENTS.md` for the measured reproduction of the paper's claims.
+
+pub use aas_adapt as adapt;
+pub use aas_adl as adl;
+pub use aas_control as control;
+pub use aas_core as core;
+pub use aas_sim as sim;
+pub use aas_telecom as telecom;
