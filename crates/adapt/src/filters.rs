@@ -639,10 +639,13 @@ mod tests {
     #[test]
     fn filters_run_in_order_and_stop_at_block() {
         let mut p = FilterPipeline::new(FilterMode::Runtime);
-        p.attach(Box::new(RenameFilter::new("a", "blockme"))).unwrap();
-        p.attach(Box::new(RejectFilter::new(["blockme"]))).unwrap();
-        p.attach(Box::new(TransformFilter::new("*", "seen", |_| Value::Bool(true))))
+        p.attach(Box::new(RenameFilter::new("a", "blockme")))
             .unwrap();
+        p.attach(Box::new(RejectFilter::new(["blockme"]))).unwrap();
+        p.attach(Box::new(TransformFilter::new("*", "seen", |_| {
+            Value::Bool(true)
+        })))
+        .unwrap();
         let mut m = msg("a");
         let out = p.run(&mut m);
         assert!(out.blocked.is_some());
@@ -690,7 +693,9 @@ mod tests {
     #[test]
     fn filtered_component_absorbs_blocked_messages() {
         let mut pipeline = FilterPipeline::new(FilterMode::Runtime);
-        pipeline.attach(Box::new(RejectFilter::new(["echo"]))).unwrap();
+        pipeline
+            .attach(Box::new(RejectFilter::new(["echo"])))
+            .unwrap();
         let mut fc = FilteredComponent::new(Box::new(EchoComponent::default()), pipeline);
         let mut ctx = CallCtx::new(SimTime::ZERO, "fc");
         fc.on_message(&mut ctx, &msg("echo")).unwrap();

@@ -298,17 +298,15 @@ mod tests {
     #[test]
     fn plug_respects_family() {
         let mut fw = framework();
-        fw.plug("codec", Box::new(EchoComponent::default())).unwrap();
+        fw.plug("codec", Box::new(EchoComponent::default()))
+            .unwrap();
         assert_eq!(fw.plugged_type("codec"), Some("Echo"));
     }
 
     #[test]
     fn family_mismatch_rejected() {
         let mut fw = CompositionFramework::new();
-        let strict_family = Interface::new(
-            "Strict",
-            vec![Signature::one_way("must_have_this")],
-        );
+        let strict_family = Interface::new("Strict", vec![Signature::one_way("must_have_this")]);
         fw.declare_slot(SlotSpec::new("s", strict_family));
         let err = fw
             .plug("s", Box::new(EchoComponent::default()))
@@ -328,16 +326,19 @@ mod tests {
     #[test]
     fn interchange_counts() {
         let mut fw = framework();
-        fw.plug("codec", Box::new(EchoComponent::default())).unwrap();
+        fw.plug("codec", Box::new(EchoComponent::default()))
+            .unwrap();
         assert_eq!(fw.interchanges("codec"), 0);
-        fw.plug("codec", Box::new(EchoComponent::default())).unwrap();
+        fw.plug("codec", Box::new(EchoComponent::default()))
+            .unwrap();
         assert_eq!(fw.interchanges("codec"), 1);
     }
 
     #[test]
     fn unplug_empties_slot() {
         let mut fw = framework();
-        fw.plug("codec", Box::new(EchoComponent::default())).unwrap();
+        fw.plug("codec", Box::new(EchoComponent::default()))
+            .unwrap();
         let taken = fw.unplug("codec").unwrap();
         assert!(taken.is_some());
         assert_eq!(fw.plugged_type("codec"), None);
@@ -352,7 +353,8 @@ mod tests {
     #[test]
     fn dispatch_runs_aspects_then_component() {
         let mut fw = framework();
-        fw.plug("codec", Box::new(EchoComponent::default())).unwrap();
+        fw.plug("codec", Box::new(EchoComponent::default()))
+            .unwrap();
         fw.install_aspect(FrameworkAspect::new("tagger", |slot, m| {
             m.value = Value::map([("slot", Value::from(slot)), ("orig", m.value.clone())]);
         }));
@@ -373,7 +375,8 @@ mod tests {
     #[test]
     fn aspects_interchange_dynamically() {
         let mut fw = framework();
-        fw.plug("codec", Box::new(EchoComponent::default())).unwrap();
+        fw.plug("codec", Box::new(EchoComponent::default()))
+            .unwrap();
         fw.install_aspect(FrameworkAspect::new("a", |_, _| {}));
         fw.install_aspect(FrameworkAspect::new("a", |_, _| {})); // replace
         let mut ctx = CallCtx::new(SimTime::ZERO, "fw");

@@ -316,10 +316,14 @@ mod tests {
     fn priority_orders_execution() {
         let mut chain = MetaChain::new();
         chain
-            .compose(MetaObject::new("late", 10, stamp("late")).with_prop(WrapperProp::Modificatory))
+            .compose(
+                MetaObject::new("late", 10, stamp("late")).with_prop(WrapperProp::Modificatory),
+            )
             .unwrap();
         chain
-            .compose(MetaObject::new("early", 0, stamp("early")).with_prop(WrapperProp::Modificatory))
+            .compose(
+                MetaObject::new("early", 0, stamp("early")).with_prop(WrapperProp::Modificatory),
+            )
             .unwrap();
         assert_eq!(chain.chained(), vec!["early", "late"]);
         let mut m = msg();
@@ -528,8 +532,11 @@ mod chained_tests {
             .unwrap();
         let mut cc = ChainedComponent::new(Box::new(EchoComponent::default()), chain);
         let mut ctx = CallCtx::new(SimTime::ZERO, "cc");
-        cc.on_message(&mut ctx, &aas_core::message::Message::request("echo", Value::from("raw")))
-            .unwrap();
+        cc.on_message(
+            &mut ctx,
+            &aas_core::message::Message::request("echo", Value::from("raw")),
+        )
+        .unwrap();
         let effects = ctx.into_effects();
         assert_eq!(
             effects,

@@ -48,7 +48,7 @@ pub use filters::{FilterMode, FilterPipeline, FilteredComponent, MessageFilter};
 pub use framework::CompositionFramework;
 pub use injector::{InjectedBehavior, Injector, InjectorRegistry};
 pub use interaction::{ChainedComponent, MetaChain, MetaObject, WrapperProp};
-pub use mechanism::{MechanismKind, MechanismProfile};
+pub use mechanism::{MechanismKind, MechanismProfile, SwitchMeter};
 pub use middleware::{AdaptiveMiddleware, ContextInfo, MiddlewareService};
 pub use paths::{CompositionPath, ServiceVariant, Stage};
 pub use strategy::{FnStrategy, IntrospectiveSwitcher, Strategy, StrategyContext};

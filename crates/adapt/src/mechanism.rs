@@ -5,6 +5,7 @@
 //! per-message overhead), used by experiments E1/E10 to contrast
 //! lightweight adaptation against full reconfiguration.
 
+use aas_obs::MetricsRegistry;
 use core::fmt;
 use serde::{Deserialize, Serialize};
 
@@ -146,16 +147,103 @@ impl MechanismProfile {
     }
 }
 
+/// Records per-mechanism switch activity into the shared metrics registry.
+///
+/// Every switch performed by an adaptation mechanism bumps
+/// `mech.{name}.switches` and feeds its cost into the
+/// `mech.{name}.switch_cost` histogram (work units), so experiments can
+/// compare the switching tax of the ten mechanisms side by side from one
+/// registry snapshot instead of each keeping private tallies.
+///
+/// # Examples
+///
+/// ```
+/// use aas_adapt::mechanism::{MechanismKind, SwitchMeter};
+/// use aas_obs::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// let meter = SwitchMeter::new(reg.clone());
+/// meter.record_profiled_switch(MechanismKind::Strategy);
+/// assert_eq!(meter.switches(MechanismKind::Strategy), 1);
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counter("mech.strategy.switches"), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwitchMeter {
+    registry: MetricsRegistry,
+}
+
+impl SwitchMeter {
+    /// A meter recording into `registry`.
+    #[must_use]
+    pub fn new(registry: MetricsRegistry) -> Self {
+        SwitchMeter { registry }
+    }
+
+    /// Records one switch by `kind` costing `cost` work units.
+    pub fn record_switch(&self, kind: MechanismKind, cost: f64) {
+        let name = kind.name();
+        self.registry
+            .counter(&format!("mech.{name}.switches"))
+            .incr();
+        self.registry
+            .histogram(&format!("mech.{name}.switch_cost"))
+            .observe(cost);
+    }
+
+    /// Records one switch priced by the mechanism's own cost profile.
+    pub fn record_profiled_switch(&self, kind: MechanismKind) {
+        self.record_switch(kind, kind.profile().switch_cost);
+    }
+
+    /// Number of switches recorded for `kind`.
+    #[must_use]
+    pub fn switches(&self, kind: MechanismKind) -> u64 {
+        self.registry
+            .counter(&format!("mech.{}.switches", kind.name()))
+            .get()
+    }
+
+    /// Mean switch cost recorded for `kind` (`NaN` before any switch).
+    #[must_use]
+    pub fn mean_switch_cost(&self, kind: MechanismKind) -> f64 {
+        self.registry
+            .histogram(&format!("mech.{}.switch_cost", kind.name()))
+            .snapshot()
+            .mean()
+    }
+
+    /// The backing registry.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    fn meter_accumulates_per_mechanism() {
+        let meter = SwitchMeter::new(MetricsRegistry::new());
+        meter.record_switch(MechanismKind::AspectWeaving, 0.1);
+        meter.record_switch(MechanismKind::AspectWeaving, 0.3);
+        meter.record_profiled_switch(MechanismKind::Strategy);
+        assert_eq!(meter.switches(MechanismKind::AspectWeaving), 2);
+        assert_eq!(meter.switches(MechanismKind::Strategy), 1);
+        assert_eq!(meter.switches(MechanismKind::Injector), 0);
+        assert!((meter.mean_switch_cost(MechanismKind::AspectWeaving) - 0.2).abs() < 0.02);
+        let strategy_cost = MechanismKind::Strategy.profile().switch_cost;
+        let mean = meter.mean_switch_cost(MechanismKind::Strategy);
+        assert!((mean - strategy_cost).abs() / strategy_cost < 0.05);
+    }
+
+    #[test]
     fn ten_adaptation_mechanisms_exactly() {
         let all = MechanismKind::adaptation_mechanisms();
         assert_eq!(all.len(), 10);
-        let names: std::collections::BTreeSet<&str> =
-            all.iter().map(|m| m.name()).collect();
+        let names: std::collections::BTreeSet<&str> = all.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), 10, "names are distinct");
         assert!(!names.contains("reconfiguration"));
     }

@@ -10,6 +10,7 @@
 //! [`IntrospectiveSwitcher`] is the separated adaptation mechanism that
 //! watches a metric and switches strategy when its rules say so.
 
+use crate::mechanism::{MechanismKind, SwitchMeter};
 use core::fmt;
 use std::collections::BTreeMap;
 
@@ -90,6 +91,7 @@ pub struct StrategyContext<I: ?Sized, O> {
     active: Option<String>,
     switches: u64,
     applications: u64,
+    meter: Option<SwitchMeter>,
 }
 
 impl<I: ?Sized, O> fmt::Debug for StrategyContext<I, O> {
@@ -117,7 +119,14 @@ impl<I: ?Sized, O> StrategyContext<I, O> {
             active: None,
             switches: 0,
             applications: 0,
+            meter: None,
         }
+    }
+
+    /// Attaches a [`SwitchMeter`]: every switch is then also recorded under
+    /// `mech.strategy.*` in the shared metrics registry.
+    pub fn set_meter(&mut self, meter: SwitchMeter) {
+        self.meter = Some(meter);
     }
 
     /// Registers a strategy; the first registration becomes active.
@@ -141,6 +150,9 @@ impl<I: ?Sized, O> StrategyContext<I, O> {
         if self.active.as_deref() != Some(name) {
             self.active = Some(name.to_owned());
             self.switches += 1;
+            if let Some(meter) = &self.meter {
+                meter.record_profiled_switch(MechanismKind::Strategy);
+            }
         }
         Ok(())
     }
@@ -282,6 +294,20 @@ mod tests {
         assert!((ctx.apply(&10.0).unwrap() - 4.0).abs() < 1e-12);
         assert_eq!(ctx.switches(), 1);
         assert_eq!(ctx.applications(), 2);
+    }
+
+    #[test]
+    fn metered_switches_land_in_registry() {
+        let reg = aas_obs::MetricsRegistry::new();
+        let mut ctx = quality_ctx();
+        ctx.set_meter(SwitchMeter::new(reg.clone()));
+        ctx.switch_to("lq").unwrap();
+        ctx.switch_to("lq").unwrap(); // no-op: not a switch
+        ctx.switch_to("hq").unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("mech.strategy.switches"), Some(2));
+        let h = snap.histogram("mech.strategy.switch_cost").unwrap();
+        assert_eq!(h.count(), 2);
     }
 
     #[test]

@@ -138,6 +138,7 @@ impl WeaverBuilder {
         Weaver {
             static_advice: self.static_advice,
             dynamic_advice: Vec::new(),
+            meter: None,
         }
     }
 }
@@ -166,14 +167,25 @@ impl WeaverBuilder {
 pub struct Weaver {
     static_advice: Vec<Advice>,
     dynamic_advice: Vec<Advice>,
+    meter: Option<crate::mechanism::SwitchMeter>,
 }
 
 impl Weaver {
+    /// Attaches a [`SwitchMeter`](crate::mechanism::SwitchMeter): every
+    /// dynamic interchange is then also recorded under
+    /// `mech.aspect-weaving.*` in the shared metrics registry.
+    pub fn set_meter(&mut self, meter: crate::mechanism::SwitchMeter) {
+        self.meter = Some(meter);
+    }
+
     /// Installs (or replaces, by name) dynamic advice — the run-time
     /// interchange path.
     pub fn swap_dynamic(&mut self, advice: Advice) {
         self.dynamic_advice.retain(|a| a.name != advice.name);
         self.dynamic_advice.push(advice);
+        if let Some(meter) = &self.meter {
+            meter.record_profiled_switch(crate::mechanism::MechanismKind::AspectWeaving);
+        }
     }
 
     /// Removes dynamic advice by name; `true` if something was removed.

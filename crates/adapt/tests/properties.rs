@@ -1,8 +1,6 @@
 //! Property-based tests for the adaptability mechanisms.
 
-use aas_adapt::filters::{
-    FilterMode, FilterPipeline, OpPattern, RejectFilter, ThrottleFilter,
-};
+use aas_adapt::filters::{FilterMode, FilterPipeline, OpPattern, RejectFilter, ThrottleFilter};
 use aas_adapt::interaction::{MetaChain, MetaObject, WrapperProp};
 use aas_adapt::middleware::{AdaptiveMiddleware, ContextInfo};
 use aas_adapt::paths::{CompositionPath, ServiceVariant, Stage};

@@ -42,7 +42,11 @@ impl fmt::Display for BindingVerdict {
         match &self.report {
             None => write!(f, "{}: unchecked (no protocols)", self.binding),
             Some(r) if r.is_compatible() => {
-                write!(f, "{}: compatible ({} joint states)", self.binding, r.product_states)
+                write!(
+                    f,
+                    "{}: compatible ({} joint states)",
+                    self.binding, r.product_states
+                )
             }
             Some(r) => write!(
                 f,
@@ -56,10 +60,7 @@ impl fmt::Display for BindingVerdict {
 /// Checks every binding of `sys` against the protocols published for
 /// component *types* in `protocols`.
 #[must_use]
-pub fn check_bindings(
-    sys: &SystemDecl,
-    protocols: &BTreeMap<String, Lts>,
-) -> Vec<BindingVerdict> {
+pub fn check_bindings(sys: &SystemDecl, protocols: &BTreeMap<String, Lts>) -> Vec<BindingVerdict> {
     let type_of: BTreeMap<&str, &str> = sys
         .components
         .iter()

@@ -9,9 +9,7 @@
 //! search — the paper's deployment concern of "load balancing and
 //! performance".
 
-use crate::ast::{
-    ActionDecl, AspectAst, Placement, PolicyAst, SystemDecl, TemporalOp,
-};
+use crate::ast::{ActionDecl, AspectAst, Placement, PolicyAst, SystemDecl, TemporalOp};
 use crate::rules::RuleMonitor;
 use aas_core::config::{BindingDecl, ComponentDecl, Configuration};
 use aas_core::connector::{ConnectorAspect, ConnectorSpec, RoutingPolicy};
@@ -81,9 +79,7 @@ pub fn compile(sys: &SystemDecl) -> Result<Deployment, CompileError> {
     let mut topology = Topology::new();
     let mut node_ids = BTreeMap::new();
     for n in &sys.nodes {
-        let id = topology.add_node(
-            NodeSpec::new(n.name.clone(), n.capacity).with_memory(n.memory),
-        );
+        let id = topology.add_node(NodeSpec::new(n.name.clone(), n.capacity).with_memory(n.memory));
         node_ids.insert(n.name.clone(), id);
     }
     for l in &sys.links {
@@ -335,9 +331,7 @@ pub fn build_raml(
                 let mut m = monitor.lock().expect("rule monitor");
                 if rearm {
                     let mut last = last_fire.lock().expect("fire time");
-                    if !cooldown.is_zero()
-                        && snap.at.saturating_since(*last) >= cooldown * 2
-                    {
+                    if !cooldown.is_zero() && snap.at.saturating_since(*last) >= cooldown * 2 {
                         m.rearm();
                         *last = snap.at;
                     }
@@ -398,14 +392,12 @@ fn action_to_intercession(
             component,
             type_name,
             version,
-        } => Intercession::Reconfigure(ReconfigPlan::single(
-            ReconfigAction::SwapImplementation {
-                name: component.clone(),
-                type_name: type_name.clone(),
-                version: *version,
-                transfer: StateTransfer::Snapshot,
-            },
-        )),
+        } => Intercession::Reconfigure(ReconfigPlan::single(ReconfigAction::SwapImplementation {
+            name: component.clone(),
+            type_name: type_name.clone(),
+            version: *version,
+            transfer: StateTransfer::Snapshot,
+        })),
         ActionDecl::Notify(text) => Intercession::Notify(text.clone()),
     }
 }
@@ -497,9 +489,8 @@ mod tests {
 
     #[test]
     fn placement_balances_many_equal_components() {
-        let mut src = String::from(
-            "system B { node a { capacity = 100.0; } node b { capacity = 100.0; } ",
-        );
+        let mut src =
+            String::from("system B { node a { capacity = 100.0; } node b { capacity = 100.0; } ");
         for i in 0..10 {
             src.push_str(&format!(
                 "component c{i} : C v1 on auto {{ expected_load = 10.0; }} "

@@ -205,9 +205,7 @@ impl Parser {
                     "bind" => sys.bindings.push(self.bind()?),
                     "constraint" => sys.constraints.push(self.constraint()?),
                     "rule" => sys.rules.push(self.rule()?),
-                    other => {
-                        return Err(self.error(format!("unexpected declaration `{other}`")))
-                    }
+                    other => return Err(self.error(format!("unexpected declaration `{other}`"))),
                 },
                 other => return Err(self.error(format!("unexpected token {other}"))),
             }
@@ -320,9 +318,7 @@ impl Parser {
                         self.advance();
                         Value::Bool(v)
                     }
-                    other => {
-                        return Err(self.error(format!("expected literal, found {other}")))
-                    }
+                    other => return Err(self.error(format!("expected literal, found {other}"))),
                 };
                 match key.as_str() {
                     "expected_load" => {
@@ -335,7 +331,11 @@ impl Parser {
                     "memory_demand" => {
                         memory_demand = match &value {
                             Value::Int(i) if *i >= 0 => *i as u64,
-                            _ => return Err(self.error("memory_demand must be a non-negative integer")),
+                            _ => {
+                                return Err(
+                                    self.error("memory_demand must be a non-negative integer")
+                                )
+                            }
                         }
                     }
                     _ => {
@@ -501,8 +501,8 @@ impl Parser {
                 self.expect(&TokenKind::Comma)?;
                 let type_name = self.ident()?;
                 self.expect(&TokenKind::Comma)?;
-                let version = u32::try_from(self.integer()?)
-                    .map_err(|_| self.error("version too large"))?;
+                let version =
+                    u32::try_from(self.integer()?).map_err(|_| self.error("version too large"))?;
                 self.expect(&TokenKind::RParen)?;
                 ActionDecl::Swap {
                     component,

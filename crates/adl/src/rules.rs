@@ -146,7 +146,10 @@ mod tests {
         let mut m = RuleMonitor::new(TemporalOp::ImpliesBefore, Cmp::Gt, 100.0);
         assert!(!m.step(50.0), "far below");
         assert!(m.step(85.0), "within 80%: act before the violation");
-        assert!(!m.step(150.0), "condition already true: too late to act before");
+        assert!(
+            !m.step(150.0),
+            "condition already true: too late to act before"
+        );
     }
 
     #[test]

@@ -377,11 +377,13 @@ mod tests {
         )
         .unwrap();
         let issues = validate(&sys);
-        assert!(issues
-            .iter()
-            .filter(|i| matches!(i, SemIssue::Duplicate { .. }))
-            .count()
-            >= 2);
+        assert!(
+            issues
+                .iter()
+                .filter(|i| matches!(i, SemIssue::Duplicate { .. }))
+                .count()
+                >= 2
+        );
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! E11 bench target: prints the observation-overhead table and
+//! micro-measures the two paths the acceptance budget cares about —
+//! the disabled trace check and lock-free metric recording.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", aas_bench::e11::run());
+
+    let tracer = aas_obs::Tracer::new();
+    c.bench_function("e11/sample_hop_disabled", |b| {
+        b.iter(|| black_box(tracer.sample_hop()))
+    });
+
+    let sampled = aas_obs::Tracer::new();
+    sampled.set_hop_sampling(1024);
+    c.bench_function("e11/sample_hop_1_in_1024", |b| {
+        b.iter(|| black_box(sampled.sample_hop()))
+    });
+
+    let registry = aas_obs::MetricsRegistry::new();
+    let counter = registry.counter("bench.counter");
+    c.bench_function("e11/counter_incr", |b| b.iter(|| counter.incr()));
+
+    let histogram = registry.histogram("bench.histogram");
+    c.bench_function("e11/histogram_observe", |b| {
+        b.iter(|| histogram.observe(black_box(3.7)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -82,10 +82,7 @@ pub fn experiment_registry() -> ImplementationRegistry {
     let mut r = ImplementationRegistry::new();
     register_telecom_components(&mut r);
     r.register("Worker", 1, |props| {
-        let cost = props
-            .get("cost")
-            .and_then(Value::as_float)
-            .unwrap_or(1.0);
+        let cost = props.get("cost").and_then(Value::as_float).unwrap_or(1.0);
         let bytes = props
             .get("state_bytes")
             .and_then(Value::as_int)

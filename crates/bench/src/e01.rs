@@ -44,7 +44,8 @@ fn run_cell(interval: SimDuration, adapt: bool) -> Cell {
 
     let mut t = SimDuration::ZERO;
     while SimTime::ZERO + t < horizon {
-        rt.inject_after(t, "coder", frame(1000, 0.1)).expect("inject");
+        rt.inject_after(t, "coder", frame(1000, 0.1))
+            .expect("inject");
         t += SimDuration::from_millis(FRAME_GAP_MS);
     }
 
@@ -61,14 +62,12 @@ fn run_cell(interval: SimDuration, adapt: bool) -> Cell {
             };
             rt.adapt_connector("s2", spec).expect("adapt");
         } else {
-            rt.request_reconfig(ReconfigPlan::single(
-                ReconfigAction::SwapImplementation {
-                    name: "coder".into(),
-                    type_name: "Transcoder".into(),
-                    version: 1,
-                    transfer: StateTransfer::Snapshot,
-                },
-            ));
+            rt.request_reconfig(ReconfigPlan::single(ReconfigAction::SwapImplementation {
+                name: "coder".into(),
+                type_name: "Transcoder".into(),
+                version: 1,
+                transfer: StateTransfer::Snapshot,
+            }));
         }
         flip = !flip;
         switches += 1;
@@ -84,7 +83,11 @@ fn run_cell(interval: SimDuration, adapt: bool) -> Cell {
         .map(|r| r.max_blackout())
         .fold(SimDuration::ZERO, |a, b| a + b);
     Cell {
-        mechanism: if adapt { "adaptation" } else { "reconfiguration" },
+        mechanism: if adapt {
+            "adaptation"
+        } else {
+            "reconfiguration"
+        },
         interval,
         delivered: sink.processed,
         mean_ms: sink.mean_latency_ms,

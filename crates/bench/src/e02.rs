@@ -28,12 +28,10 @@ fn connector_variant(kind: &str) -> ConnectorSpec {
             .with_aspect(ConnectorAspect::Metering)
             .with_aspect(ConnectorAspect::SequenceCheck)
             .with_aspect(ConnectorAspect::Encryption { cost: 0.2 }),
-        "compressing" => ConnectorSpec::direct("wire").with_aspect(
-            ConnectorAspect::Compression {
-                ratio: 0.3,
-                cost: 0.3,
-            },
-        ),
+        "compressing" => ConnectorSpec::direct("wire").with_aspect(ConnectorAspect::Compression {
+            ratio: 0.3,
+            cost: 0.3,
+        }),
         other => panic!("unknown variant {other}"),
     }
 }
@@ -63,7 +61,8 @@ fn measure(kind: &str, bytes: i64) -> f64 {
 
     let mut t = SimDuration::ZERO;
     for _ in 0..MESSAGES {
-        rt.inject_after(t, "coder", frame(bytes, 0.05)).expect("inject");
+        rt.inject_after(t, "coder", frame(bytes, 0.05))
+            .expect("inject");
         t += SimDuration::from_millis(20);
     }
     rt.run_until(SimTime::from_secs(60));

@@ -45,7 +45,8 @@ pub fn run_cell(rate: u64) -> Cell {
     let mut t = SimDuration::ZERO;
     let mut offered = 0;
     while SimTime::ZERO + t < horizon {
-        rt.inject_after(t, "coder", frame(400, 0.05)).expect("inject");
+        rt.inject_after(t, "coder", frame(400, 0.05))
+            .expect("inject");
         offered += 1;
         t += gap;
     }

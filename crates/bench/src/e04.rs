@@ -148,8 +148,7 @@ pub fn run_cell(policy: Policy) -> Cell {
     }
 
     let mut control = controller(policy);
-    let mut tracker =
-        ComplianceTracker::new(QosContract::upper("backlog_ms", CONTRACT_LIMIT_MS));
+    let mut tracker = ComplianceTracker::new(QosContract::upper("backlog_ms", CONTRACT_LIMIT_MS));
     let mut current_level: i64 = 4;
     let mut switches = 0u64;
     let period = SimDuration::from_millis(CONTROL_PERIOD_MS);
@@ -158,8 +157,7 @@ pub fn run_cell(policy: Policy) -> Cell {
     while t < horizon {
         t += period;
         rt.run_until(t);
-        let backlog =
-            rt.topology().node(NodeId(0)).backlog(rt.now()).as_micros() as f64 / 1e3;
+        let backlog = rt.topology().node(NodeId(0)).backlog(rt.now()).as_micros() as f64 / 1e3;
         tracker.sample(rt.now(), backlog);
         if let Some(cl) = control.as_mut() {
             let shed = cl.tick(backlog, period.as_secs_f64());
@@ -230,6 +228,9 @@ mod tests {
             none.violation
         );
         assert!(fuzzy.frames > none.frames, "controlled system serves more");
-        assert!(none.quality > fuzzy.quality, "uncontrolled keeps 1080p (for the few it serves)");
+        assert!(
+            none.quality > fuzzy.quality,
+            "uncontrolled keeps 1080p (for the few it serves)"
+        );
     }
 }

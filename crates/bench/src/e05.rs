@@ -66,8 +66,12 @@ pub fn run_cell(rebalance: bool, rate: u64) -> Cell {
     let mut t = SimDuration::ZERO;
     let mut k = 0usize;
     while SimTime::ZERO + t < horizon {
-        rt.inject_after(t, &format!("w{}", k % WORKERS), Message::request("work", Value::Null))
-            .expect("inject");
+        rt.inject_after(
+            t,
+            &format!("w{}", k % WORKERS),
+            Message::request("work", Value::Null),
+        )
+        .expect("inject");
         t += gap;
         k += 1;
     }
@@ -110,7 +114,14 @@ pub fn run_cell(rebalance: bool, rate: u64) -> Cell {
 pub fn run() -> Table {
     let mut table = Table::new(
         "E5: migration-based load balancing vs static placement",
-        &["rate(req/s)", "policy", "mean(ms)", "p99(ms)", "util-spread", "migrations"],
+        &[
+            "rate(req/s)",
+            "policy",
+            "mean(ms)",
+            "p99(ms)",
+            "util-spread",
+            "migrations",
+        ],
     );
     for rate in [200u64, 400, 800] {
         for rebalance in [false, true] {

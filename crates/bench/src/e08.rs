@@ -40,8 +40,7 @@ pub fn controllers() -> Vec<(&'static str, ControllerFactory)> {
         (
             "fuzzy",
             Box::new(|| {
-                Box::new(FuzzyController::standard(20.0, 60.0, 30.0))
-                    as Box<dyn Controller + Send>
+                Box::new(FuzzyController::standard(20.0, 60.0, 30.0)) as Box<dyn Controller + Send>
             }),
         ),
         (
@@ -67,12 +66,7 @@ pub struct Cell {
 /// Evaluates one controller on the linear plant (setpoint 10).
 #[must_use]
 pub fn linear_cell(name: &'static str, make: &dyn Fn() -> Box<dyn Controller + Send>) -> Cell {
-    let mut cl = ControlLoop::new(
-        make(),
-        10.0,
-        Direction::Direct,
-        Actuation::Positional,
-    );
+    let mut cl = ControlLoop::new(make(), 10.0, Direction::Direct, Actuation::Positional);
     let mut plant = FirstOrderLag::new(1.0, 2.0);
     let trace = run_closed_loop(&mut cl, &mut plant, HORIZON, DT);
     Cell {
@@ -180,7 +174,11 @@ mod tests {
             .collect();
         let pid = get(&cells, "pid");
         let thr = get(&cells, "threshold");
-        assert!(pid.steady_state_error < 0.5, "pid sse {}", pid.steady_state_error);
+        assert!(
+            pid.steady_state_error < 0.5,
+            "pid sse {}",
+            pid.steady_state_error
+        );
         assert!(pid.itae < thr.itae, "pid beats bang-bang on ITAE");
     }
 

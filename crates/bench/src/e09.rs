@@ -102,7 +102,12 @@ pub fn run() -> Table {
             c.states.to_string(),
             c.product_states.to_string(),
             f2(c.micros),
-            if c.compatible { "compatible" } else { "deadlock" }.into(),
+            if c.compatible {
+                "compatible"
+            } else {
+                "deadlock"
+            }
+            .into(),
         ]);
     }
     for n in [4usize, 16, 64, 256] {

@@ -85,14 +85,12 @@ pub fn run_cell(adapt: bool, period: SimDuration) -> Cell {
             };
             rt.adapt_connector("front", spec).expect("adapt");
         } else {
-            rt.request_reconfig(ReconfigPlan::single(
-                ReconfigAction::SwapImplementation {
-                    name: "svc".into(),
-                    type_name: "Worker".into(),
-                    version: 1,
-                    transfer: StateTransfer::Snapshot,
-                },
-            ));
+            rt.request_reconfig(ReconfigPlan::single(ReconfigAction::SwapImplementation {
+                name: "svc".into(),
+                type_name: "Worker".into(),
+                version: 1,
+                transfer: StateTransfer::Snapshot,
+            }));
         }
         flip = !flip;
         at += period;
@@ -118,7 +116,11 @@ pub fn run_cell(adapt: bool, period: SimDuration) -> Cell {
     }
     let availability = if total == 0 { 0.0 } else { lo };
     Cell {
-        mechanism: if adapt { "adaptation" } else { "reconfiguration" },
+        mechanism: if adapt {
+            "adaptation"
+        } else {
+            "reconfiguration"
+        },
         period,
         requests,
         within_sla: (availability * total as f64) as u64,

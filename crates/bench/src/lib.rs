@@ -20,6 +20,7 @@ pub mod e07;
 pub mod e08;
 pub mod e09;
 pub mod e10;
+pub mod e11;
 pub mod table;
 
 pub use table::Table;

@@ -144,9 +144,7 @@ impl ControlLoop {
         let output = self.controller.update(error, dt);
         self.actuator = match self.actuation {
             Actuation::Positional => output,
-            Actuation::Incremental { min, max } => {
-                (self.actuator + output * dt).clamp(min, max)
-            }
+            Actuation::Incremental { min, max } => (self.actuator + output * dt).clamp(min, max),
         };
         self.actuator
     }

@@ -180,9 +180,21 @@ mod tests {
     #[test]
     fn analyze_detects_overshoot() {
         let trace = vec![
-            TracePoint { t: 0.0, y: 0.0, u: 0.0 },
-            TracePoint { t: 1.0, y: 13.0, u: 0.0 }, // 30% past a 10-step
-            TracePoint { t: 2.0, y: 10.0, u: 0.0 },
+            TracePoint {
+                t: 0.0,
+                y: 0.0,
+                u: 0.0,
+            },
+            TracePoint {
+                t: 1.0,
+                y: 13.0,
+                u: 0.0,
+            }, // 30% past a 10-step
+            TracePoint {
+                t: 2.0,
+                y: 10.0,
+                u: 0.0,
+            },
         ];
         let m = analyze(&trace, 10.0, 0.0);
         assert!((m.overshoot_pct - 30.0).abs() < 1e-9);
@@ -192,9 +204,21 @@ mod tests {
     fn analyze_downward_step() {
         // From 100 toward 10; undershoot below 10 counts as overshoot.
         let trace = vec![
-            TracePoint { t: 0.0, y: 100.0, u: 0.0 },
-            TracePoint { t: 1.0, y: 1.0, u: 0.0 }, // 9 below on a 90-step: 10%
-            TracePoint { t: 2.0, y: 10.0, u: 0.0 },
+            TracePoint {
+                t: 0.0,
+                y: 100.0,
+                u: 0.0,
+            },
+            TracePoint {
+                t: 1.0,
+                y: 1.0,
+                u: 0.0,
+            }, // 9 below on a 90-step: 10%
+            TracePoint {
+                t: 2.0,
+                y: 10.0,
+                u: 0.0,
+            },
         ];
         let m = analyze(&trace, 10.0, 100.0);
         assert!((m.overshoot_pct - 10.0).abs() < 1e-9);

@@ -4,8 +4,16 @@
 //! monitor and improve the quality of service parameters"; a [`QosMonitor`]
 //! is the *monitor* leg of that loop, combining a smoothed signal (EWMA),
 //! distribution statistics and a [`ComplianceTracker`].
+//!
+//! Monitors run in one of two modes. In *push* mode ([`QosMonitor::new`])
+//! the caller feeds raw samples and the monitor keeps its own histogram.
+//! In *pull* mode ([`QosMonitor::from_registry`]) the distribution already
+//! lives in the shared `aas-obs` registry — recorded lock-free by the
+//! runtime — and the monitor reads it ([`QosMonitor::poll`]) instead of
+//! recomputing its own statistics from raw message traffic.
 
 use crate::qos::{ComplianceTracker, QosContract};
+use aas_obs::HistogramHandle;
 use aas_sim::stats::{Ewma, Histogram};
 use aas_sim::time::SimTime;
 use core::fmt;
@@ -30,29 +38,86 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone)]
 pub struct QosMonitor {
     ewma: Ewma,
-    histogram: Histogram,
+    source: MetricSource,
     compliance: ComplianceTracker,
     samples: u64,
 }
 
+/// Where a monitor's distribution lives.
+#[derive(Debug, Clone)]
+enum MetricSource {
+    /// Push mode: the monitor owns its histogram and fills it from
+    /// [`QosMonitor::observe`] calls.
+    Own(Histogram),
+    /// Pull mode: the distribution is a shared registry histogram the
+    /// base level already records into; the monitor only reads it.
+    Registry(HistogramHandle),
+}
+
 impl QosMonitor {
-    /// A monitor for `contract` with EWMA smoothing factor `alpha`.
+    /// A push-mode monitor for `contract` with EWMA smoothing factor
+    /// `alpha`.
     #[must_use]
     pub fn new(contract: QosContract, alpha: f64) -> Self {
         QosMonitor {
             ewma: Ewma::new(alpha),
-            histogram: Histogram::new(),
+            source: MetricSource::Own(Histogram::new()),
             compliance: ComplianceTracker::new(contract),
             samples: 0,
         }
     }
 
-    /// Feeds one observation.
+    /// A pull-mode monitor reading an existing registry histogram (e.g.
+    /// `runtime.e2e_latency_ms`) instead of accumulating its own copy.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aas_control::monitor::QosMonitor;
+    /// use aas_control::qos::QosContract;
+    /// use aas_obs::MetricsRegistry;
+    /// use aas_sim::time::SimTime;
+    ///
+    /// let reg = MetricsRegistry::new();
+    /// let lat = reg.histogram("runtime.e2e_latency_ms");
+    /// let mut m =
+    ///     QosMonitor::from_registry(QosContract::upper("lat", 100.0), 0.3, lat.clone());
+    /// lat.observe(250.0); // the base level records; the monitor reads
+    /// let p99 = m.poll(SimTime::from_secs(1));
+    /// assert!(p99 > 100.0);
+    /// assert!(m.compliance().violation_fraction() >= 0.0);
+    /// ```
+    #[must_use]
+    pub fn from_registry(contract: QosContract, alpha: f64, source: HistogramHandle) -> Self {
+        QosMonitor {
+            ewma: Ewma::new(alpha),
+            source: MetricSource::Registry(source),
+            compliance: ComplianceTracker::new(contract),
+            samples: 0,
+        }
+    }
+
+    /// Feeds one observation (push mode; in pull mode the distribution is
+    /// read from the registry, so only the smoothed signal and compliance
+    /// are updated).
     pub fn observe(&mut self, at: SimTime, value: f64) {
         self.ewma.observe(value);
-        self.histogram.observe(value);
+        if let MetricSource::Own(h) = &mut self.source {
+            h.observe(value);
+        }
         self.compliance.sample(at, value);
         self.samples += 1;
+    }
+
+    /// Pull-mode tick: reads the current p99 from the source histogram,
+    /// feeds it into the smoothed signal and compliance, and returns it.
+    /// Works in push mode too (reading the monitor's own histogram).
+    pub fn poll(&mut self, at: SimTime) -> f64 {
+        let p99 = self.quantile(0.99);
+        self.ewma.observe(p99);
+        self.compliance.sample(at, p99);
+        self.samples += 1;
+        p99
     }
 
     /// The EWMA-smoothed value.
@@ -61,10 +126,14 @@ impl QosMonitor {
         self.ewma.value()
     }
 
-    /// Quantile of all observations.
+    /// Quantile of the monitored distribution — the monitor's own
+    /// histogram in push mode, the shared registry histogram in pull mode.
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
-        self.histogram.quantile(q)
+        match &self.source {
+            MetricSource::Own(h) => h.quantile(q),
+            MetricSource::Registry(h) => h.snapshot().quantile(q),
+        }
     }
 
     /// The compliance tracker.
@@ -93,10 +162,32 @@ impl MonitorSet {
         MonitorSet::default()
     }
 
-    /// Installs a monitor for `contract`, keyed by its metric name.
+    /// Installs a push-mode monitor for `contract`, keyed by its metric
+    /// name.
     pub fn install(&mut self, contract: QosContract, alpha: f64) {
         self.monitors
             .insert(contract.metric.clone(), QosMonitor::new(contract, alpha));
+    }
+
+    /// Installs a pull-mode monitor reading `source` from the shared
+    /// registry, keyed by the contract's metric name.
+    pub fn install_from_registry(
+        &mut self,
+        contract: QosContract,
+        alpha: f64,
+        source: HistogramHandle,
+    ) {
+        self.monitors.insert(
+            contract.metric.clone(),
+            QosMonitor::from_registry(contract, alpha, source),
+        );
+    }
+
+    /// Polls every monitor at `at` (see [`QosMonitor::poll`]).
+    pub fn poll_all(&mut self, at: SimTime) {
+        for m in self.monitors.values_mut() {
+            m.poll(at);
+        }
     }
 
     /// Feeds an observation to the monitor for `metric`, if installed.
@@ -175,6 +266,44 @@ mod tests {
         assert_eq!(set.get("fps").unwrap().samples(), 1);
         assert!(set.get("unknown").is_none());
         assert_eq!(set.iter().count(), 2);
+    }
+
+    #[test]
+    fn pull_mode_reads_registry_histogram() {
+        let reg = aas_obs::MetricsRegistry::new();
+        let lat = reg.histogram("runtime.e2e_latency_ms");
+        let mut m = QosMonitor::from_registry(QosContract::upper("lat", 100.0), 0.5, lat.clone());
+        // The base level records into the shared histogram; the monitor
+        // never sees the raw samples.
+        for _ in 0..95 {
+            lat.observe(10.0);
+        }
+        for _ in 0..5 {
+            lat.observe(500.0);
+        }
+        let p99 = m.poll(SimTime::from_secs(1));
+        assert!(p99 > 100.0, "p99 {p99} should see the tail");
+        m.poll(SimTime::from_secs(2)); // violation time accrues between polls
+        assert!(m.compliance().violation_fraction() > 0.0);
+        assert_eq!(m.samples(), 2);
+        // observe() in pull mode still drives the smoothed signal.
+        m.observe(SimTime::from_secs(3), 20.0);
+        assert_eq!(m.samples(), 3);
+        // quantile still reads the shared distribution, not pushed values.
+        assert!(m.quantile(0.5) < 15.0);
+    }
+
+    #[test]
+    fn monitor_set_polls_registry_monitors() {
+        let reg = aas_obs::MetricsRegistry::new();
+        let rtt = reg.histogram("runtime.rtt_ms");
+        rtt.observe(80.0);
+        let mut set = MonitorSet::new();
+        set.install_from_registry(QosContract::upper("rtt", 50.0), 0.2, rtt);
+        set.poll_all(SimTime::from_secs(1));
+        let m = set.get("rtt").unwrap();
+        assert_eq!(m.samples(), 1);
+        assert!(m.smoothed() > 50.0);
     }
 
     #[test]

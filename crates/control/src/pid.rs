@@ -95,8 +95,7 @@ impl Controller for PidController {
         // Tentative integral; kept only if output is not saturated
         // (conditional-integration anti-windup).
         let tentative_integral = self.integral + error * dt;
-        let unclamped =
-            self.kp * error + self.ki * tentative_integral + self.kd * derivative;
+        let unclamped = self.kp * error + self.ki * tentative_integral + self.kd * derivative;
         let output = unclamped.clamp(self.out_min, self.out_max);
         if (output - unclamped).abs() < f64::EPSILON {
             self.integral = tentative_integral;

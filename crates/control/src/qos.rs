@@ -272,8 +272,7 @@ impl ServiceLadder {
     /// Moves `delta` levels (positive = up), clamped to the ladder ends.
     /// Returns `true` if the level actually changed.
     pub fn adjust(&mut self, delta: i64) -> bool {
-        let target = (self.current as i64 + delta)
-            .clamp(0, self.levels.len() as i64 - 1) as usize;
+        let target = (self.current as i64 + delta).clamp(0, self.levels.len() as i64 - 1) as usize;
         if target != self.current {
             self.current = target;
             self.switches += 1;

@@ -20,9 +20,7 @@ use core::fmt;
 use serde::{Deserialize, Serialize};
 
 /// Unique identifier of a component instance within a runtime.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ComponentId(pub u64);
 
 impl fmt::Display for ComponentId {
@@ -340,10 +338,7 @@ impl Component for EchoComponent {
     }
 
     fn provided(&self) -> Interface {
-        Interface::new(
-            "Echo",
-            vec![crate::interface::Signature::one_way("echo")],
-        )
+        Interface::new("Echo", vec![crate::interface::Signature::one_way("echo")])
     }
 
     fn on_message(&mut self, ctx: &mut CallCtx, msg: &Message) -> Result<(), ComponentError> {
@@ -441,8 +436,7 @@ mod tests {
     #[test]
     fn snapshot_transfer_size_grows_with_state() {
         let small = StateSnapshot::new("T", 1).with_field("a", Value::from(1));
-        let large =
-            StateSnapshot::new("T", 1).with_field("blob", Value::Bytes(vec![0; 100_000]));
+        let large = StateSnapshot::new("T", 1).with_field("blob", Value::Bytes(vec![0; 100_000]));
         assert!(large.transfer_size() > small.transfer_size() + 90_000);
     }
 

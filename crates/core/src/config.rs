@@ -311,8 +311,7 @@ impl Configuration {
         }
 
         // Binding changes (set difference, order-insensitive).
-        let old_bindings: std::collections::BTreeSet<&BindingDecl> =
-            self.bindings.iter().collect();
+        let old_bindings: std::collections::BTreeSet<&BindingDecl> = self.bindings.iter().collect();
         let new_bindings: std::collections::BTreeSet<&BindingDecl> =
             target.bindings.iter().collect();
         for b in old_bindings.difference(&new_bindings) {

@@ -73,7 +73,10 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::NodeUnavailable(n) => write!(f, "node `{n}` unavailable"),
             RuntimeError::IncompatibleInterface { component, reason } => {
-                write!(f, "interface change on `{component}` not backward compatible: {reason}")
+                write!(
+                    f,
+                    "interface change on `{component}` not backward compatible: {reason}"
+                )
             }
             RuntimeError::IncompatibleProtocols {
                 connector,

@@ -239,10 +239,10 @@ impl Interface {
     /// compatible signature.
     #[must_use]
     pub fn satisfies_requirement(&self, required: &Interface) -> bool {
-        required
-            .signatures
-            .iter()
-            .all(|req| self.signature(&req.name).is_some_and(|s| s.can_replace(req)))
+        required.signatures.iter().all(|req| {
+            self.signature(&req.name)
+                .is_some_and(|s| s.can_replace(req))
+        })
     }
 }
 
@@ -306,15 +306,9 @@ mod tests {
 
     #[test]
     fn narrowing_return_is_compatible_but_widening_is_not() {
-        let old = Interface::new(
-            "I",
-            vec![Signature::new("f", vec![], TypeTag::Float)],
-        );
+        let old = Interface::new("I", vec![Signature::new("f", vec![], TypeTag::Float)]);
         // Returning Int where Float was promised: Int satisfies Float — OK.
-        let narrower = Interface::new(
-            "I",
-            vec![Signature::new("f", vec![], TypeTag::Int)],
-        );
+        let narrower = Interface::new("I", vec![Signature::new("f", vec![], TypeTag::Int)]);
         assert!(narrower.is_backward_compatible_with(&old));
         // Returning Any where Float was promised: not OK.
         let wider = Interface::new("I", vec![Signature::new("f", vec![], TypeTag::Any)]);
@@ -372,10 +366,11 @@ mod tests {
     #[test]
     fn extended_with_replaces_same_name() {
         let v1 = iface_v1();
-        let v2 = v1.extended_with(vec![Signature::new("get", vec![TypeTag::Any], TypeTag::Any)]);
-        assert_eq!(
-            v2.signatures.iter().filter(|s| s.name == "get").count(),
-            1
-        );
+        let v2 = v1.extended_with(vec![Signature::new(
+            "get",
+            vec![TypeTag::Any],
+            TypeTag::Any,
+        )]);
+        assert_eq!(v2.signatures.iter().filter(|s| s.name == "get").count(), 1);
     }
 }

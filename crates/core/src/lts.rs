@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Index of a state within one LTS.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct StateId(pub usize);
 
 /// Direction of a transition label.
@@ -177,7 +175,10 @@ impl Lts {
     ///
     /// Panics if either endpoint does not exist.
     pub fn add_transition(&mut self, from: StateId, label: Label, to: StateId) {
-        assert!(from.0 < self.states.len() && to.0 < self.states.len(), "no such state");
+        assert!(
+            from.0 < self.states.len() && to.0 < self.states.len(),
+            "no such state"
+        );
         self.transitions.push(Transition { from, label, to });
     }
 

@@ -196,9 +196,7 @@ impl fmt::Display for Value {
 }
 
 /// Unique identifier of a message within a run.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MessageId(pub u64);
 
 impl fmt::Display for MessageId {

@@ -18,8 +18,8 @@
 //!   covering both of the paper's trigger styles ("specified criteria" and
 //!   "periodical measurements on the evolving infrastructure").
 
-use crate::connector::ConnectorSpec;
 use crate::component::Lifecycle;
+use crate::connector::ConnectorSpec;
 use crate::reconfig::ReconfigPlan;
 use aas_sim::fault::FaultKind;
 use aas_sim::node::NodeId;
@@ -615,7 +615,9 @@ mod tests {
             node: NodeId(9),
             limit: 0.8,
         };
-        assert!(missing.check(&snap_with_latency(SimTime::ZERO, 1.0)).is_none());
+        assert!(missing
+            .check(&snap_with_latency(SimTime::ZERO, 1.0))
+            .is_none());
     }
 
     #[test]
@@ -646,7 +648,9 @@ mod tests {
         raml.add_rule(
             Rule::when("never", |_| false).then(|_| vec![Intercession::Notify("x".into())]),
         );
-        assert!(raml.evaluate(&snap_with_latency(SimTime::ZERO, 50.0)).is_empty());
+        assert!(raml
+            .evaluate(&snap_with_latency(SimTime::ZERO, 50.0))
+            .is_empty());
     }
 
     #[test]

@@ -145,7 +145,11 @@ impl fmt::Display for ReconfigAction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReconfigAction::AddComponent { name, decl } => {
-                write!(f, "add {name} ({} v{}) on {}", decl.type_name, decl.version, decl.node)
+                write!(
+                    f,
+                    "add {name} ({} v{}) on {}",
+                    decl.type_name, decl.version, decl.node
+                )
             }
             ReconfigAction::RemoveComponent { name } => write!(f, "remove {name}"),
             ReconfigAction::SwapImplementation {

@@ -35,24 +35,28 @@ use crate::connector::{Connector, ConnectorId, ConnectorSpec};
 use crate::error::RuntimeError;
 use crate::message::{Message, MessageId, MessageKind, SequenceTracker};
 use crate::raml::{
-    ComponentObservation, ConnectorObservation, Intercession, NodeObservation, Raml,
-    SystemSnapshot,
+    ComponentObservation, ConnectorObservation, Intercession, NodeObservation, Raml, SystemSnapshot,
 };
-use crate::reconfig::{
-    ReconfigAction, ReconfigId, ReconfigPlan, ReconfigReport, StateTransfer,
-};
+use crate::reconfig::{ReconfigAction, ReconfigId, ReconfigPlan, ReconfigReport, StateTransfer};
 use crate::registry::{ImplementationRegistry, Props};
+use aas_obs::{Counter, HistogramHandle, Obs, SpanId};
 use aas_sim::channel::ChannelId;
 use aas_sim::fault::FaultKind;
 use aas_sim::kernel::{Fired, Kernel};
 use aas_sim::network::Topology;
 use aas_sim::node::NodeId;
-use aas_sim::stats::{Histogram, Summary};
+use aas_sim::stats::Histogram;
 use aas_sim::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
 /// The sender name used for injected (external) workload messages.
 pub const EXTERNAL: &str = "external";
+
+/// Milliseconds represented by a sim duration — the workspace-wide unit
+/// for latency metrics.
+fn ms(d: SimDuration) -> f64 {
+    d.as_micros() as f64 / 1e3
+}
 
 /// A message in transit between two component instances.
 #[derive(Debug, Clone)]
@@ -99,7 +103,9 @@ pub enum RuntimeEvent {
     Notify(String),
 }
 
-/// Aggregated runtime metrics.
+/// Point-in-time view of the runtime's aggregate metrics, assembled from
+/// the shared `aas-obs` registry by [`Runtime::metrics`]. The registry is
+/// the source of truth; this struct is a convenience copy.
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeMetrics {
     /// End-to-end latency of every delivered message (milliseconds).
@@ -112,6 +118,29 @@ pub struct RuntimeMetrics {
     pub dropped: u64,
     /// Handler errors.
     pub handler_errors: u64,
+}
+
+/// Lock-free handles into the shared registry for the runtime's hot-path
+/// metrics.
+#[derive(Debug)]
+struct MetricHandles {
+    e2e_latency: HistogramHandle,
+    rtt: HistogramHandle,
+    unrouted: Counter,
+    dropped: Counter,
+    handler_errors: Counter,
+}
+
+impl MetricHandles {
+    fn new(obs: &Obs) -> Self {
+        MetricHandles {
+            e2e_latency: obs.metrics.histogram("runtime.e2e_latency_ms"),
+            rtt: obs.metrics.histogram("runtime.rtt_ms"),
+            unrouted: obs.metrics.counter("runtime.unrouted"),
+            dropped: obs.metrics.counter("runtime.dropped"),
+            handler_errors: obs.metrics.counter("runtime.handler_errors"),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -127,9 +156,12 @@ struct Instance {
     inflight: u32,
     processed: u64,
     errors: u64,
-    latency: Histogram,
+    /// Handle into the shared registry (`comp.<name>.latency_ms`).
+    latency: HistogramHandle,
     tracker: SequenceTracker,
-    custom: BTreeMap<String, Summary>,
+    /// Handles into the shared registry (`comp.<name>.<metric>`), interned
+    /// per custom metric name.
+    custom: BTreeMap<String, HistogramHandle>,
     blocked_at: Option<SimTime>,
 }
 
@@ -141,11 +173,20 @@ struct BindingRt {
 
 #[derive(Debug)]
 enum TimerPurpose {
-    JobDone { instance: String, envelope: Box<Envelope> },
-    ComponentTimer { instance: String, tag: u64 },
+    JobDone {
+        instance: String,
+        envelope: Box<Envelope>,
+    },
+    ComponentTimer {
+        instance: String,
+        tag: u64,
+    },
     RamlTick,
     TransferDone,
-    Inject { target: String, message: Box<Message> },
+    Inject {
+        target: String,
+        message: Box<Message>,
+    },
 }
 
 #[derive(Debug)]
@@ -158,6 +199,8 @@ enum ExecPhase {
 #[derive(Debug)]
 struct ReconfigExec {
     id: ReconfigId,
+    /// Trace span covering the whole plan execution.
+    span: SpanId,
     actions: VecDeque<ReconfigAction>,
     started_at: SimTime,
     phase: ExecPhase,
@@ -224,7 +267,8 @@ pub struct Runtime {
     raml: Option<Raml>,
     events: Vec<(SimTime, RuntimeEvent)>,
     outbox: Vec<(SimTime, Message)>,
-    metrics: RuntimeMetrics,
+    obs: Obs,
+    m: MetricHandles,
 }
 
 impl Runtime {
@@ -232,8 +276,23 @@ impl Runtime {
     /// given implementation registry.
     #[must_use]
     pub fn new(topology: Topology, seed: u64, registry: ImplementationRegistry) -> Self {
+        Self::with_obs(topology, seed, registry, Obs::new())
+    }
+
+    /// Like [`Runtime::new`], but recording into an existing telemetry
+    /// bundle (so several runtimes, monitors or tools can share one).
+    #[must_use]
+    pub fn with_obs(
+        topology: Topology,
+        seed: u64,
+        registry: ImplementationRegistry,
+        obs: Obs,
+    ) -> Self {
+        let m = MetricHandles::new(&obs);
+        let mut kernel = Kernel::new(topology, seed);
+        kernel.set_tracer(obs.tracer.clone());
         Runtime {
-            kernel: Kernel::new(topology, seed),
+            kernel,
             registry,
             instances: BTreeMap::new(),
             connectors: BTreeMap::new(),
@@ -254,7 +313,8 @@ impl Runtime {
             raml: None,
             events: Vec::new(),
             outbox: Vec::new(),
-            metrics: RuntimeMetrics::default(),
+            obs,
+            m,
         }
     }
 
@@ -272,7 +332,11 @@ impl Runtime {
         for spec in config.connectors() {
             self.add_connector(spec.clone())?;
         }
-        for name in config.component_names().map(str::to_owned).collect::<Vec<_>>() {
+        for name in config
+            .component_names()
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+        {
             let decl = config.component_decl(&name).expect("declared").clone();
             self.add_component(&name, &decl)?;
         }
@@ -287,11 +351,7 @@ impl Runtime {
     /// # Errors
     ///
     /// Fails on duplicate names, unknown implementations or bad nodes.
-    pub fn add_component(
-        &mut self,
-        name: &str,
-        decl: &ComponentDecl,
-    ) -> Result<(), RuntimeError> {
+    pub fn add_component(&mut self, name: &str, decl: &ComponentDecl) -> Result<(), RuntimeError> {
         if self.instances.contains_key(name) {
             return Err(RuntimeError::DuplicateComponent(name.to_owned()));
         }
@@ -316,7 +376,10 @@ impl Runtime {
                 inflight: 0,
                 processed: 0,
                 errors: 0,
-                latency: Histogram::new(),
+                latency: self
+                    .obs
+                    .metrics
+                    .histogram(&format!("comp.{name}.latency_ms")),
                 tracker: SequenceTracker::new(),
                 custom: BTreeMap::new(),
                 blocked_at: None,
@@ -407,10 +470,7 @@ impl Runtime {
     /// Fails if no such binding exists.
     pub fn remove_binding(&mut self, from: &(String, String)) -> Result<(), RuntimeError> {
         let b = self.bindings.remove(from).ok_or_else(|| {
-            RuntimeError::InvalidConfiguration(format!(
-                "no binding at `{}.{}`",
-                from.0, from.1
-            ))
+            RuntimeError::InvalidConfiguration(format!("no binding at `{}.{}`", from.0, from.1))
         })?;
         for ch in b.channels {
             self.kernel.close_channel(ch);
@@ -492,7 +552,7 @@ impl Runtime {
         let id = env.msg.id;
         let size = env.msg.wire_size();
         if !self.kernel.send(ch, env, size).is_sent() {
-            self.metrics.dropped += 1;
+            self.m.dropped.incr();
         }
         Ok(id)
     }
@@ -547,23 +607,26 @@ impl Runtime {
         let components = self
             .instances
             .iter()
-            .map(|(name, inst)| ComponentObservation {
-                name: name.clone(),
-                type_name: inst.type_name.clone(),
-                version: inst.version,
-                node: inst.node,
-                lifecycle: inst.lifecycle,
-                inflight: inst.inflight,
-                processed: inst.processed,
-                errors: inst.errors,
-                mean_latency_ms: inst.latency.mean(),
-                p99_latency_ms: inst.latency.quantile(0.99),
-                seq_anomalies: inst.tracker.gaps() + inst.tracker.duplicates(),
-                custom: inst
-                    .custom
-                    .iter()
-                    .map(|(k, s)| (k.clone(), s.mean()))
-                    .collect(),
+            .map(|(name, inst)| {
+                let latency = inst.latency.snapshot();
+                ComponentObservation {
+                    name: name.clone(),
+                    type_name: inst.type_name.clone(),
+                    version: inst.version,
+                    node: inst.node,
+                    lifecycle: inst.lifecycle,
+                    inflight: inst.inflight,
+                    processed: inst.processed,
+                    errors: inst.errors,
+                    mean_latency_ms: latency.mean(),
+                    p99_latency_ms: latency.quantile(0.99),
+                    seq_anomalies: inst.tracker.gaps() + inst.tracker.duplicates(),
+                    custom: inst
+                        .custom
+                        .iter()
+                        .map(|(k, s)| (k.clone(), s.snapshot().mean()))
+                        .collect(),
+                }
             })
             .collect();
         let nodes = self
@@ -601,7 +664,7 @@ impl Runtime {
             nodes,
             connectors,
             delivered: self.kernel.counters().get("delivered"),
-            dropped: self.kernel.counters().get("dropped") + self.metrics.dropped,
+            dropped: self.kernel.counters().get("dropped") + self.m.dropped.get(),
         }
     }
 
@@ -616,6 +679,11 @@ impl Runtime {
     pub fn request_reconfig(&mut self, plan: ReconfigPlan) -> ReconfigId {
         let id = ReconfigId(self.next_reconfig_id);
         self.next_reconfig_id += 1;
+        self.obs.audit.plan_submitted(
+            &id.to_string(),
+            &format!("{} actions", plan.len()),
+            self.kernel.now().as_micros(),
+        );
         if self.active_reconfig.is_some() {
             self.queued_plans.push_back((id, plan));
         } else {
@@ -638,8 +706,14 @@ impl Runtime {
     }
 
     fn start_exec(&mut self, id: ReconfigId, plan: ReconfigPlan) {
+        let span = self.obs.tracer.span_start(
+            &format!("plan:{id}"),
+            SpanId::NONE,
+            self.kernel.now().as_micros(),
+        );
         self.active_reconfig = Some(ReconfigExec {
             id,
+            span,
             actions: plan.into_actions().into(),
             started_at: self.kernel.now(),
             phase: ExecPhase::Idle,
@@ -688,19 +762,14 @@ impl Runtime {
                         return; // wait for in-flight jobs to finish
                     }
                     match self.apply_instant(&action) {
-                        Ok(()) => {
-                            self.active_reconfig.as_mut().expect("active").applied += 1;
-                        }
+                        Ok(()) => self.record_action(&action),
                         Err(e) => {
                             self.finish_reconfig(false, Some(format!("{action}: {e}")));
                         }
                     }
                 }
                 ExecPhase::AwaitQuiesce { action } => {
-                    let target = action
-                        .quiesce_target()
-                        .expect("quiesce action")
-                        .to_owned();
+                    let target = action.quiesce_target().expect("quiesce action").to_owned();
                     if self
                         .instances
                         .get(&target)
@@ -721,8 +790,7 @@ impl Runtime {
                         }
                         Ok(None) => {
                             self.unblock_component(&target);
-                            let exec = self.active_reconfig.as_mut().expect("active");
-                            exec.applied += 1;
+                            self.record_action(&action);
                         }
                         Err(e) => {
                             self.unblock_component(&target);
@@ -732,23 +800,45 @@ impl Runtime {
                 }
                 ExecPhase::AwaitTransfer { action } => {
                     // Re-entered from the TransferDone timer.
-                    let target = action
-                        .quiesce_target()
-                        .expect("transfer action")
-                        .to_owned();
+                    let target = action.quiesce_target().expect("transfer action").to_owned();
                     self.complete_transfer(&action);
                     self.unblock_component(&target);
-                    let exec = self.active_reconfig.as_mut().expect("active");
-                    exec.applied += 1;
+                    self.record_action(&action);
                 }
             }
         }
     }
 
+    /// Counts one applied action into the active execution and records it
+    /// in the audit log and the plan's trace span.
+    fn record_action(&mut self, action: &ReconfigAction) {
+        let now_us = self.kernel.now().as_micros();
+        if let Some(exec) = self.active_reconfig.as_mut() {
+            exec.applied += 1;
+            let rendered = action.to_string();
+            self.obs
+                .audit
+                .action_applied(&exec.id.to_string(), &rendered, "ok", now_us);
+            self.obs
+                .tracer
+                .event(exec.span, "action", &rendered, now_us);
+        }
+    }
+
     fn begin_quiesce(&mut self, name: &str) {
         let now = self.kernel.now();
+        let plan = self
+            .active_reconfig
+            .as_ref()
+            .map(|e| e.id.to_string())
+            .unwrap_or_default();
         for ch in self.inbound_channels(name) {
             self.kernel.block_channel(ch);
+            self.obs.audit.channel_blocked(
+                &plan,
+                &format!("ch={} -> {name}", ch.0),
+                now.as_micros(),
+            );
         }
         if let Some(inst) = self.instances.get_mut(name) {
             if inst.lifecycle == Lifecycle::Active {
@@ -764,6 +854,11 @@ impl Runtime {
 
     fn unblock_component(&mut self, name: &str) {
         let now = self.kernel.now();
+        let plan = self
+            .active_reconfig
+            .as_ref()
+            .map(|e| e.id.to_string())
+            .unwrap_or_default();
         let channels = self.inbound_channels(name);
         let mut held = 0;
         for ch in &channels {
@@ -771,6 +866,11 @@ impl Runtime {
         }
         for ch in channels {
             self.kernel.unblock_channel(ch);
+            self.obs.audit.channel_released(
+                &plan,
+                &format!("ch={} -> {name}", ch.0),
+                now.as_micros(),
+            );
         }
         if let Some(inst) = self.instances.get_mut(name) {
             inst.lifecycle = Lifecycle::Active;
@@ -812,7 +912,10 @@ impl Runtime {
     /// `Ok(Some(delay))` when a simulated state transfer must elapse before
     /// the component can be unblocked, `Ok(None)` when the mutation is
     /// complete.
-    fn start_mutation(&mut self, action: &ReconfigAction) -> Result<Option<SimDuration>, RuntimeError> {
+    fn start_mutation(
+        &mut self,
+        action: &ReconfigAction,
+    ) -> Result<Option<SimDuration>, RuntimeError> {
         match action {
             ReconfigAction::SwapImplementation {
                 name,
@@ -846,12 +949,12 @@ impl Runtime {
                     StateTransfer::Snapshot => {
                         let snap = inst.component.snapshot();
                         transferred = snap.transfer_size();
-                        replacement.restore(&snap).map_err(|e| {
-                            RuntimeError::ReconfigFailed {
+                        replacement
+                            .restore(&snap)
+                            .map_err(|e| RuntimeError::ReconfigFailed {
                                 action: action.kind().to_owned(),
                                 reason: e.to_string(),
-                            }
-                        })?;
+                            })?;
                         // Encoding + decoding the context costs node time.
                         let cost = 0.5 + transferred as f64 / 1e6;
                         let node = inst.node;
@@ -906,9 +1009,10 @@ impl Runtime {
                 Ok(Some(transit))
             }
             ReconfigAction::RemoveComponent { name } => {
-                let used_by_binding = self.bindings.values().any(|b| {
-                    b.decl.from.0 == *name || b.decl.to.iter().any(|(i, _)| i == name)
-                });
+                let used_by_binding = self
+                    .bindings
+                    .values()
+                    .any(|b| b.decl.from.0 == *name || b.decl.to.iter().any(|(i, _)| i == name));
                 if used_by_binding {
                     return Err(RuntimeError::ReconfigFailed {
                         action: action.kind().to_owned(),
@@ -1043,6 +1147,14 @@ impl Runtime {
         let Some(exec) = self.active_reconfig.take() else {
             return;
         };
+        self.obs.audit.plan_finished(
+            &exec.id.to_string(),
+            &failure
+                .as_deref()
+                .map_or_else(|| "success".to_owned(), |f| format!("failed: {f}")),
+            now.as_micros(),
+        );
+        self.obs.tracer.span_end(exec.span, now.as_micros());
         let report = ReconfigReport {
             id: exec.id,
             started_at: exec.started_at,
@@ -1074,7 +1186,7 @@ impl Runtime {
                 self.on_fault(kind);
             }
             Fired::DroppedAtDelivery { reason, .. } => {
-                self.metrics.dropped += 1;
+                self.m.dropped.incr();
                 self.events.push((
                     at,
                     RuntimeEvent::Dropped {
@@ -1088,11 +1200,7 @@ impl Runtime {
 
     /// Runs until no event at or before `deadline` remains.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while self
-            .kernel
-            .next_event_time()
-            .is_some_and(|t| t <= deadline)
-        {
+        while self.kernel.next_event_time().is_some_and(|t| t <= deadline) {
             let _ = self.step();
         }
     }
@@ -1105,7 +1213,7 @@ impl Runtime {
 
     fn on_delivered(&mut self, env: Envelope, now: SimTime) {
         let Some(inst) = self.instances.get_mut(&env.to_instance) else {
-            self.metrics.dropped += 1;
+            self.m.dropped.incr();
             self.events.push((
                 now,
                 RuntimeEvent::Dropped {
@@ -1117,7 +1225,7 @@ impl Runtime {
         let cost = env.extra_cost + inst.component.work_cost(&env.msg);
         let node = inst.node;
         let Some(delay) = self.kernel.run_job(node, cost) else {
-            self.metrics.dropped += 1;
+            self.m.dropped.incr();
             self.events.push((
                 now,
                 RuntimeEvent::Dropped {
@@ -1177,19 +1285,19 @@ impl Runtime {
 
         // Latency metrics.
         let e2e = now.saturating_since(env.msg.sent_at);
-        inst.latency.observe_duration(e2e);
-        self.metrics.e2e_latency.observe_duration(e2e);
+        inst.latency.observe(ms(e2e));
+        self.m.e2e_latency.observe(ms(e2e));
         if env.msg.kind == MessageKind::Reply {
             if let Some(corr) = env.msg.correlation {
                 if let Some((sent, _)) = self.pending_requests.remove(&corr) {
-                    self.metrics.rtt.observe_duration(now.saturating_since(sent));
+                    self.m.rtt.observe(ms(now.saturating_since(sent)));
                 }
             }
         }
 
         // Hand to the component (replies only if it declares the op).
-        let deliver = env.msg.kind != MessageKind::Reply
-            || inst.component.provided().provides(&env.msg.op);
+        let deliver =
+            env.msg.kind != MessageKind::Reply || inst.component.provided().provides(&env.msg.op);
         let mut effects = Vec::new();
         if deliver {
             let mut ctx = CallCtx::new(now, name);
@@ -1197,7 +1305,7 @@ impl Runtime {
                 Ok(()) => {}
                 Err(e) => {
                     inst.errors += 1;
-                    self.metrics.handler_errors += 1;
+                    self.m.handler_errors.incr();
                     self.events.push((
                         now,
                         RuntimeEvent::HandlerError {
@@ -1253,10 +1361,13 @@ impl Runtime {
                     );
                 }
                 Effect::Metric { name, value } => {
+                    let metrics = &self.obs.metrics;
                     if let Some(inst) = self.instances.get_mut(from) {
                         inst.custom
                             .entry(name)
-                            .or_insert_with(Summary::new)
+                            .or_insert_with_key(|key| {
+                                metrics.histogram(&format!("comp.{from}.{key}"))
+                            })
                             .observe(value);
                     }
                 }
@@ -1267,7 +1378,7 @@ impl Runtime {
     fn dispatch_send(&mut self, from: &str, port: &str, msg: Message) {
         let key = (from.to_owned(), port.to_owned());
         let Some(binding) = self.bindings.get(&key) else {
-            self.metrics.unrouted += 1;
+            self.m.unrouted.incr();
             self.events.push((
                 self.kernel.now(),
                 RuntimeEvent::Dropped {
@@ -1299,7 +1410,7 @@ impl Runtime {
             env.extra_cost = mediation.extra_cost;
             let size = (env.msg.wire_size() as f64 * mediation.size_factor) as u64;
             if !self.kernel.send(channels[idx], env, size).is_sent() {
-                self.metrics.dropped += 1;
+                self.m.dropped.incr();
             }
         }
 
@@ -1369,7 +1480,7 @@ impl Runtime {
             reply.sent_at = now;
             if let Some(corr) = reply.correlation {
                 if let Some((sent, _)) = self.pending_requests.remove(&corr) {
-                    self.metrics.rtt.observe_duration(now.saturating_since(sent));
+                    self.m.rtt.observe(ms(now.saturating_since(sent)));
                 }
             }
             self.outbox.push((now, reply));
@@ -1379,7 +1490,7 @@ impl Runtime {
             return;
         };
         let Some(to_node) = self.instances.get(to).map(|i| i.node) else {
-            self.metrics.dropped += 1;
+            self.m.dropped.incr();
             return;
         };
         let key = (from.to_owned(), to.to_owned());
@@ -1394,7 +1505,7 @@ impl Runtime {
         let env = self.finalize(from, to, "reply", reply, None);
         let size = env.msg.wire_size();
         if !self.kernel.send(ch, env, size).is_sent() {
-            self.metrics.dropped += 1;
+            self.m.dropped.incr();
         }
     }
 
@@ -1470,10 +1581,24 @@ impl Runtime {
         self.kernel.inject_faults(schedule);
     }
 
-    /// Aggregated runtime metrics.
+    /// Aggregated runtime metrics, assembled on demand from the shared
+    /// `aas-obs` registry.
     #[must_use]
-    pub fn metrics(&self) -> &RuntimeMetrics {
-        &self.metrics
+    pub fn metrics(&self) -> RuntimeMetrics {
+        RuntimeMetrics {
+            e2e_latency: self.m.e2e_latency.snapshot(),
+            rtt: self.m.rtt.snapshot(),
+            unrouted: self.m.unrouted.get(),
+            dropped: self.m.dropped.get(),
+            handler_errors: self.m.handler_errors.get(),
+        }
+    }
+
+    /// The runtime's telemetry bundle: shared metrics registry, tracer and
+    /// the reconfiguration audit log.
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Kernel-level counters (`sent`, `delivered`, `dropped`, `held`, …).
@@ -1661,7 +1786,8 @@ mod tests {
 
     fn tick(rt: &mut Runtime, n: usize) {
         for _ in 0..n {
-            rt.inject("counter", Message::request("tick", Value::Null)).unwrap();
+            rt.inject("counter", Message::request("tick", Value::Null))
+                .unwrap();
         }
     }
 
@@ -1875,7 +2001,8 @@ mod tests {
         rt.deploy(&cfg).unwrap();
 
         for _ in 0..4 {
-            rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+            rt.inject("fwd", Message::event("tick", Value::Null))
+                .unwrap();
         }
         rt.run_until(SimTime::from_secs(1));
         let snap = rt.observe();
@@ -1896,7 +2023,8 @@ mod tests {
         rt.deploy(&cfg).unwrap();
 
         for _ in 0..10 {
-            rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+            rt.inject("fwd", Message::event("tick", Value::Null))
+                .unwrap();
         }
         rt.run_until(SimTime::from_secs(1));
         let snap = rt.observe();
@@ -1919,7 +2047,8 @@ mod tests {
         rt.deploy(&cfg).unwrap();
 
         for _ in 0..6 {
-            rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+            rt.inject("fwd", Message::event("tick", Value::Null))
+                .unwrap();
         }
         rt.run_until(SimTime::from_secs(1));
         let snap = rt.observe();
@@ -1937,7 +2066,8 @@ mod tests {
         cfg.bind(BindingDecl::new("fwd", "out", "wire", "counter", "in"));
         rt.deploy(&cfg).unwrap();
 
-        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.inject("fwd", Message::event("tick", Value::Null))
+            .unwrap();
         rt.run_until(SimTime::from_secs(1));
 
         // Swap in a metering connector: no reports, no blackout, no loss.
@@ -1947,7 +2077,8 @@ mod tests {
         )
         .unwrap();
         assert!(rt.reports().is_empty());
-        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.inject("fwd", Message::event("tick", Value::Null))
+            .unwrap();
         rt.run_until(SimTime::from_secs(2));
         let snap = rt.observe();
         assert_eq!(snap.component("counter").unwrap().processed, 2);
@@ -1959,22 +2090,18 @@ mod tests {
     fn queued_plans_execute_in_order() {
         let mut rt = counter_runtime();
         tick(&mut rt, 30); // keep it busy so the first plan must wait
-        let id1 = rt.request_reconfig(ReconfigPlan::single(
-            ReconfigAction::SwapImplementation {
-                name: "counter".into(),
-                type_name: "Counter".into(),
-                version: 2,
-                transfer: StateTransfer::Snapshot,
-            },
-        ));
-        let id2 = rt.request_reconfig(ReconfigPlan::single(
-            ReconfigAction::SwapImplementation {
-                name: "counter".into(),
-                type_name: "Counter".into(),
-                version: 1,
-                transfer: StateTransfer::Snapshot,
-            },
-        ));
+        let id1 = rt.request_reconfig(ReconfigPlan::single(ReconfigAction::SwapImplementation {
+            name: "counter".into(),
+            type_name: "Counter".into(),
+            version: 2,
+            transfer: StateTransfer::Snapshot,
+        }));
+        let id2 = rt.request_reconfig(ReconfigPlan::single(ReconfigAction::SwapImplementation {
+            name: "counter".into(),
+            type_name: "Counter".into(),
+            version: 1,
+            transfer: StateTransfer::Snapshot,
+        }));
         rt.run_until(SimTime::from_secs(10));
         assert_eq!(rt.reports().len(), 2);
         assert_eq!(rt.reports()[0].id, id1);
@@ -2010,8 +2137,7 @@ mod tests {
             .then(|_| {
                 vec![Intercession::AdaptConnector {
                     name: "wire".into(),
-                    spec: ConnectorSpec::direct("wire")
-                        .with_aspect(ConnectorAspect::Metering),
+                    spec: ConnectorSpec::direct("wire").with_aspect(ConnectorAspect::Metering),
                 }]
             }),
         );
@@ -2037,19 +2163,33 @@ mod tests {
     fn node_crash_drops_messages_and_recovery_restores() {
         let mut rt = counter_runtime();
         let mut faults = aas_sim::fault::FaultSchedule::new();
-        faults.node_outage(NodeId(0), SimTime::from_millis(10), SimTime::from_millis(100));
+        faults.node_outage(
+            NodeId(0),
+            SimTime::from_millis(10),
+            SimTime::from_millis(100),
+        );
         rt.inject_faults(faults);
 
-        rt.inject_after(SimDuration::from_millis(50), "counter", Message::request("tick", Value::Null))
-            .unwrap();
-        rt.inject_after(SimDuration::from_millis(200), "counter", Message::request("tick", Value::Null))
-            .unwrap();
+        rt.inject_after(
+            SimDuration::from_millis(50),
+            "counter",
+            Message::request("tick", Value::Null),
+        )
+        .unwrap();
+        rt.inject_after(
+            SimDuration::from_millis(200),
+            "counter",
+            Message::request("tick", Value::Null),
+        )
+        .unwrap();
         rt.run_until(SimTime::from_secs(1));
         // First tick dropped (node down at delivery), second processed.
         let replies = rt.take_outbox();
         assert_eq!(replies.len(), 1);
         let events = rt.drain_events();
-        assert!(events.iter().any(|(_, e)| matches!(e, RuntimeEvent::Fault(_))));
+        assert!(events
+            .iter()
+            .any(|(_, e)| matches!(e, RuntimeEvent::Fault(_))));
         assert!(rt.metrics().dropped >= 1 || rt.kernel_counters().get("dropped") >= 1);
     }
 
@@ -2059,7 +2199,8 @@ mod tests {
         let mut cfg = Configuration::new();
         cfg.component("fwd", ComponentDecl::new("Forwarder", 1, NodeId(0)));
         rt.deploy(&cfg).unwrap();
-        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.inject("fwd", Message::event("tick", Value::Null))
+            .unwrap();
         rt.run_until(SimTime::from_secs(1));
         assert_eq!(rt.metrics().unrouted, 1);
     }
@@ -2115,7 +2256,8 @@ mod tests {
         rt.deploy(&cfg).unwrap();
 
         // One tick: automaton now at `busy` (mid-collaboration).
-        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.inject("fwd", Message::event("tick", Value::Null))
+            .unwrap();
         rt.run_until(SimTime::from_secs(1));
         let deferred = rt
             .adapt_connector_at_quiescence(
@@ -2127,11 +2269,13 @@ mod tests {
         assert_eq!(rt.pending_connector_swaps().count(), 1);
 
         // Second tick completes the round; the swap applies right after.
-        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.inject("fwd", Message::event("tick", Value::Null))
+            .unwrap();
         rt.run_until(SimTime::from_secs(2));
         assert_eq!(rt.pending_connector_swaps().count(), 0);
         // The new connector has the metering aspect and fresh stats.
-        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.inject("fwd", Message::event("tick", Value::Null))
+            .unwrap();
         rt.run_until(SimTime::from_secs(3));
         let snap = rt.observe();
         assert!(snap.connector("wire").unwrap().mean_metered_latency_ms > 0.0);
@@ -2250,7 +2394,8 @@ mod tests {
         cfg.bind(BindingDecl::new("fwd", "out", "wire", "counter", "in"));
         rt.deploy(&cfg).unwrap();
 
-        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.inject("fwd", Message::event("tick", Value::Null))
+            .unwrap();
         rt.run_until(SimTime::from_secs(1));
         let events = rt.drain_events();
         assert!(
@@ -2272,7 +2417,11 @@ mod tests {
             Err(RuntimeError::UnknownComponent(_))
         ));
         assert!(matches!(
-            rt.inject_after(SimDuration::from_secs(1), "ghost", Message::request("tick", Value::Null)),
+            rt.inject_after(
+                SimDuration::from_secs(1),
+                "ghost",
+                Message::request("tick", Value::Null)
+            ),
             Err(RuntimeError::UnknownComponent(_))
         ));
     }
@@ -2355,7 +2504,8 @@ mod tests {
         let mut cfg = Configuration::new();
         cfg.component("ticker", ComponentDecl::new("Ticker", 1, NodeId(0)));
         rt.deploy(&cfg).unwrap();
-        rt.inject("ticker", Message::event("start", Value::Null)).unwrap();
+        rt.inject("ticker", Message::event("start", Value::Null))
+            .unwrap();
         rt.run_until(SimTime::from_secs(5));
         let snap = rt.observe();
         let obs = snap.component("ticker").unwrap();
@@ -2381,7 +2531,8 @@ mod tests {
         rt.request_reconfig(plan);
         rt.run_until(SimTime::from_secs(1));
         assert!(rt.reports()[0].success);
-        rt.inject("fwd", Message::event("tick", Value::Null)).unwrap();
+        rt.inject("fwd", Message::event("tick", Value::Null))
+            .unwrap();
         rt.run_until(SimTime::from_secs(2));
         assert_eq!(rt.observe().component("counter").unwrap().processed, 1);
     }

@@ -3,7 +3,7 @@
 use aas_core::component::{CallCtx, Component, EchoComponent};
 use aas_core::interface::{Interface, Signature, TypeTag};
 use aas_core::lts::{check_compatibility, synthetic_ring, Dir, Label, Lts};
-use aas_core::message::{Message, SequenceTracker, SeqVerdict, Value};
+use aas_core::message::{Message, SeqVerdict, SequenceTracker, Value};
 use aas_sim::time::SimTime;
 use proptest::prelude::*;
 

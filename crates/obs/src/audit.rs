@@ -1,0 +1,218 @@
+//! Append-only reconfiguration audit log.
+//!
+//! Dynamic reconfiguration is the riskiest thing this system does to
+//! itself, so every step leaves a record: plan submission, each applied
+//! action and its outcome, channel blocks and releases around quiescence,
+//! rollbacks, and plan completion. The log is append-only and queryable,
+//! which is what lets tests assert that a reconfiguration did *exactly*
+//! what its plan said — no missed actions, no phantom ones.
+
+use std::sync::{Arc, Mutex};
+
+/// What an audit entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditKind {
+    /// A reconfiguration plan was submitted for execution.
+    PlanSubmitted,
+    /// One action of a plan was applied.
+    ActionApplied,
+    /// A plan finished (see `outcome` for success/failure).
+    PlanFinished,
+    /// A plan was rolled back.
+    RolledBack,
+    /// A channel was blocked for quiescence.
+    ChannelBlocked,
+    /// A blocked channel was released.
+    ChannelReleased,
+}
+
+impl AuditKind {
+    /// Stable lowercase label for exports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AuditKind::PlanSubmitted => "plan_submitted",
+            AuditKind::ActionApplied => "action_applied",
+            AuditKind::PlanFinished => "plan_finished",
+            AuditKind::RolledBack => "rolled_back",
+            AuditKind::ChannelBlocked => "channel_blocked",
+            AuditKind::ChannelReleased => "channel_released",
+        }
+    }
+}
+
+/// One immutable record in the audit log.
+#[derive(Debug, Clone)]
+pub struct AuditEntry {
+    /// Position in the log (0-based, gap-free).
+    pub seq: u64,
+    /// Caller-supplied timestamp in microseconds (sim time).
+    pub at_us: u64,
+    /// Record kind.
+    pub kind: AuditKind,
+    /// Plan this record belongs to; empty for records outside any plan
+    /// (e.g. channel blocks issued by the kernel directly).
+    pub plan: String,
+    /// The subject: an action description, a channel name, etc.
+    pub subject: String,
+    /// Outcome text (`"ok"`, an error, a reason); may be empty.
+    pub outcome: String,
+}
+
+/// Shared append-only audit log.
+///
+/// # Examples
+///
+/// ```
+/// use aas_obs::{AuditKind, AuditLog};
+///
+/// let log = AuditLog::new();
+/// log.plan_submitted("p1", "swap filter implementation", 100);
+/// log.action_applied("p1", "swap-implementation filter", "ok", 150);
+/// log.plan_finished("p1", "success", 200);
+///
+/// let p1 = log.for_plan("p1");
+/// assert_eq!(p1.len(), 3);
+/// assert_eq!(p1[1].kind, AuditKind::ActionApplied);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AuditLog {
+    entries: Arc<Mutex<Vec<AuditEntry>>>,
+}
+
+impl AuditLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        AuditLog::default()
+    }
+
+    fn append(&self, at_us: u64, kind: AuditKind, plan: &str, subject: &str, outcome: &str) {
+        let mut entries = self.entries.lock().expect("audit log poisoned");
+        let seq = entries.len() as u64;
+        entries.push(AuditEntry {
+            seq,
+            at_us,
+            kind,
+            plan: plan.to_owned(),
+            subject: subject.to_owned(),
+            outcome: outcome.to_owned(),
+        });
+    }
+
+    /// Records submission of `plan`.
+    pub fn plan_submitted(&self, plan: &str, description: &str, at_us: u64) {
+        self.append(at_us, AuditKind::PlanSubmitted, plan, description, "");
+    }
+
+    /// Records one applied action of `plan` and its outcome.
+    pub fn action_applied(&self, plan: &str, action: &str, outcome: &str, at_us: u64) {
+        self.append(at_us, AuditKind::ActionApplied, plan, action, outcome);
+    }
+
+    /// Records completion of `plan` with `outcome`.
+    pub fn plan_finished(&self, plan: &str, outcome: &str, at_us: u64) {
+        self.append(at_us, AuditKind::PlanFinished, plan, "", outcome);
+    }
+
+    /// Records a rollback of `plan` with its reason.
+    pub fn rolled_back(&self, plan: &str, reason: &str, at_us: u64) {
+        self.append(at_us, AuditKind::RolledBack, plan, "", reason);
+    }
+
+    /// Records that `channel` was blocked (for quiescence) under `plan`.
+    pub fn channel_blocked(&self, plan: &str, channel: &str, at_us: u64) {
+        self.append(at_us, AuditKind::ChannelBlocked, plan, channel, "");
+    }
+
+    /// Records that `channel` was released under `plan`.
+    pub fn channel_released(&self, plan: &str, channel: &str, at_us: u64) {
+        self.append(at_us, AuditKind::ChannelReleased, plan, channel, "");
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("audit log poisoned").len()
+    }
+
+    /// True when the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies all entries, in append order.
+    #[must_use]
+    pub fn entries(&self) -> Vec<AuditEntry> {
+        self.entries.lock().expect("audit log poisoned").clone()
+    }
+
+    /// Copies the entries belonging to `plan`, in append order.
+    #[must_use]
+    pub fn for_plan(&self, plan: &str) -> Vec<AuditEntry> {
+        self.entries
+            .lock()
+            .expect("audit log poisoned")
+            .iter()
+            .filter(|e| e.plan == plan)
+            .cloned()
+            .collect()
+    }
+
+    /// Copies the entries of a given kind, in append order.
+    #[must_use]
+    pub fn of_kind(&self, kind: AuditKind) -> Vec<AuditEntry> {
+        self.entries
+            .lock()
+            .expect("audit log poisoned")
+            .iter()
+            .filter(|e| e.kind == kind)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_numbers_are_gap_free() {
+        let log = AuditLog::new();
+        log.plan_submitted("p", "d", 0);
+        log.channel_blocked("p", "a->b", 1);
+        log.action_applied("p", "remove-component x", "ok", 2);
+        log.channel_released("p", "a->b", 3);
+        log.plan_finished("p", "success", 4);
+        let entries = log.entries();
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        assert_eq!(entries.len(), 5);
+    }
+
+    #[test]
+    fn queries_filter_correctly() {
+        let log = AuditLog::new();
+        log.plan_submitted("p1", "", 0);
+        log.plan_submitted("p2", "", 1);
+        log.action_applied("p1", "bind a b", "ok", 2);
+        log.rolled_back("p2", "constraint violated", 3);
+        assert_eq!(log.for_plan("p1").len(), 2);
+        assert_eq!(log.for_plan("p2").len(), 2);
+        assert_eq!(log.of_kind(AuditKind::RolledBack).len(), 1);
+        assert_eq!(
+            log.of_kind(AuditKind::RolledBack)[0].outcome,
+            "constraint violated"
+        );
+    }
+
+    #[test]
+    fn clone_shares_the_log() {
+        let log = AuditLog::new();
+        let alias = log.clone();
+        log.plan_submitted("p", "", 0);
+        assert_eq!(alias.len(), 1);
+    }
+}

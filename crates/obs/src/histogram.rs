@@ -1,0 +1,420 @@
+//! Log2-bucketed streaming histograms.
+//!
+//! Buckets are derived directly from the IEEE-754 bit pattern: the
+//! exponent selects an octave and the top four mantissa bits select one of
+//! 16 sub-buckets within it, so indexing is a handful of integer ops with
+//! no logarithm. Sixteen sub-buckets per octave bound the relative
+//! quantile error by [`Histogram::RELATIVE_ERROR`] (one bucket width,
+//! 1/16), while exact min/max are tracked separately so the extreme
+//! quantiles are always exact. Histograms with identical geometry merge by
+//! bucket-wise addition, which is what makes per-instance recording and
+//! workspace-wide aggregation the same data structure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: 2^4 = 16 sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+const SUBS: usize = 1 << SUB_BITS;
+/// Smallest unbiased exponent with its own octave (2^-30 ≈ 9.3e-10).
+const EXP_MIN: i32 = -30;
+/// Largest unbiased exponent with its own octave (2^40; values up to
+/// ~2.2e12 stay in range).
+const EXP_MAX: i32 = 40;
+const OCTAVES: usize = (EXP_MAX - EXP_MIN + 1) as usize;
+const BUCKETS: usize = OCTAVES * SUBS;
+
+/// Maps a non-negative finite value to its bucket index.
+#[inline]
+fn index_of(x: f64) -> usize {
+    let bits = x.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    if exp < EXP_MIN {
+        return 0;
+    }
+    if exp > EXP_MAX {
+        return BUCKETS - 1;
+    }
+    let sub = ((bits >> (52 - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    (exp - EXP_MIN) as usize * SUBS + sub
+}
+
+/// Geometric midpoint of bucket `i`, used as the quantile estimate.
+fn bucket_value(i: usize) -> f64 {
+    let octave = (i / SUBS) as i32 + EXP_MIN;
+    let sub = (i % SUBS) as f64;
+    // Bucket spans 2^e * [1 + sub/16, 1 + (sub+1)/16); return its center.
+    let base = (octave as f64).exp2();
+    base * (1.0 + (2.0 * sub + 1.0) / (2.0 * SUBS as f64))
+}
+
+/// Fixed-memory log2-bucketed histogram for latency-like positive values.
+///
+/// # Examples
+///
+/// ```
+/// use aas_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for x in 1..=1000 { h.observe(x as f64); }
+/// let p50 = h.quantile(0.5);
+/// assert!((p50 - 500.0).abs() / 500.0 < Histogram::RELATIVE_ERROR);
+/// assert_eq!(h.quantile(0.0), 1.0);
+/// assert_eq!(h.quantile(1.0), 1000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Upper bound on the relative error of any interior quantile: one
+    /// bucket's width relative to its lower edge, `1/16`.
+    pub const RELATIVE_ERROR: f64 = 1.0 / SUBS as f64;
+
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one non-negative observation. Negative or non-finite values
+    /// are ignored.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() || x < 0.0 {
+            return;
+        }
+        self.buckets[index_of(x)] += 1;
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded observations; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded observation (exact); `0.0` when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded observation (exact); `0.0` when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`); `0.0` when empty.
+    ///
+    /// Exact min/max are returned at the extremes; interior quantiles are
+    /// bucket midpoints, within [`Histogram::RELATIVE_ERROR`] of the exact
+    /// rank value.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    #[must_use]
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    #[must_use]
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Merges another histogram into this one. Equivalent to having
+    /// recorded both streams into a single histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Lock-free sibling of [`Histogram`] for the shared metrics registry:
+/// every cell is an atomic, so concurrent owners record without locking
+/// and readers take consistent-enough snapshots.
+///
+/// # Examples
+///
+/// ```
+/// use aas_obs::AtomicHistogram;
+///
+/// let h = AtomicHistogram::new();
+/// h.observe(3.0);
+/// h.observe(5.0);
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count(), 2);
+/// assert_eq!(snap.min(), 3.0);
+/// assert_eq!(snap.max(), 5.0);
+/// ```
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Box<[AtomicU64]>,
+    sum_bits: AtomicU64,
+    /// Min/max as raw f64 bits; for non-negative finite floats the bit
+    /// pattern is order-preserving, so `fetch_min`/`fetch_max` work.
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// Creates an empty atomic histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+            min_bits: AtomicU64::new(u64::MAX),
+            max_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one non-negative observation without locking. Negative or
+    /// non-finite values are ignored.
+    pub fn observe(&self, x: f64) {
+        if !x.is_finite() || x < 0.0 {
+            return;
+        }
+        self.buckets[index_of(x)].fetch_add(1, Ordering::Relaxed);
+        let bits = x.to_bits();
+        self.min_bits.fetch_min(bits, Ordering::Relaxed);
+        // max_bits starts at 0 == 0.0f64 bits, which is safe because
+        // observations are non-negative.
+        self.max_bits.fetch_max(bits, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + x).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Copies the current state into a plain [`Histogram`].
+    #[must_use]
+    pub fn snapshot(&self) -> Histogram {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let min_bits = self.min_bits.load(Ordering::Relaxed);
+        Histogram {
+            buckets,
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: if min_bits == u64::MAX {
+                f64::INFINITY
+            } else {
+                f64::from_bits(min_bits)
+            },
+            max: if count == 0 {
+                f64::NEG_INFINITY
+            } else {
+                f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000 {
+            h.observe(f64::from(i));
+        }
+        for (q, expect) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q);
+            assert!(
+                (got - expect).abs() / expect < Histogram::RELATIVE_ERROR,
+                "q{q}: got {got}, want ~{expect}"
+            );
+        }
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 10_000.0);
+    }
+
+    #[test]
+    fn ignores_garbage() {
+        let mut h = Histogram::new();
+        h.observe(f64::NAN);
+        h.observe(-1.0);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.observe(1.0);
+        b.observe(100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.quantile(0.0), 1.0);
+        assert_eq!(a.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn extreme_values_clamp_to_edge_buckets() {
+        let mut h = Histogram::new();
+        h.observe(1e-9);
+        h.observe(1e12);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.0), 1e-9);
+        assert_eq!(h.quantile(1.0), 1e12);
+    }
+
+    #[test]
+    fn zero_and_subnormal_land_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.observe(0.0);
+        h.observe(1e-300);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0.0);
+    }
+
+    #[test]
+    fn named_percentiles_are_ordered() {
+        let mut h = Histogram::new();
+        for i in 1..=100_000 {
+            h.observe(f64::from(i));
+        }
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p99());
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.max());
+    }
+
+    #[test]
+    fn atomic_matches_plain() {
+        let plain = {
+            let mut h = Histogram::new();
+            for i in 1..=1000 {
+                h.observe(f64::from(i) * 0.37);
+            }
+            h
+        };
+        let atomic = AtomicHistogram::new();
+        for i in 1..=1000 {
+            atomic.observe(f64::from(i) * 0.37);
+        }
+        let snap = atomic.snapshot();
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(snap.min(), plain.min());
+        assert_eq!(snap.max(), plain.max());
+        assert!((snap.sum() - plain.sum()).abs() < 1e-6);
+        assert_eq!(snap.quantile(0.5), plain.quantile(0.5));
+    }
+
+    #[test]
+    fn atomic_empty_snapshot_is_zeroed() {
+        let h = AtomicHistogram::new();
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.min(), 0.0);
+        assert_eq!(snap.max(), 0.0);
+        assert_eq!(snap.quantile(0.5), 0.0);
+    }
+}

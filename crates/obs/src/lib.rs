@@ -1,0 +1,84 @@
+//! `aas-obs` — the workspace's single telemetry substrate.
+//!
+//! The paper's central constraint on observation is that the meta-level
+//! must watch the base level **without degrading the availability of the
+//! applications** (PAPER.md §2). Everything in this crate is shaped by
+//! that: hot-path recording is lock-free ([`metrics`]), bounded-memory
+//! ([`histogram`], [`trace`]) and, where per-message cost would otherwise
+//! accumulate, gated behind a sampling knob whose disabled path is a
+//! single relaxed atomic load ([`trace::Tracer::hop_sampling`]).
+//!
+//! Module map:
+//!
+//! * [`stats`] — canonical scalar estimators: [`Ewma`], [`Summary`]
+//!   (Welford), [`Counters`]. Other crates re-export these; there is
+//!   exactly one EWMA implementation in the workspace.
+//! * [`histogram`] — log2-bucketed streaming [`Histogram`] with mergeable
+//!   p50/p90/p99/p99.9 and exact min/max, plus its lock-free sibling
+//!   [`AtomicHistogram`] for the shared registry.
+//! * [`metrics`] — typed [`MetricsRegistry`] with interned [`MetricId`]s
+//!   handing out lock-free [`Counter`]/[`Gauge`]/[`HistogramHandle`]s.
+//! * [`trace`] — bounded span/event ring buffer with causal ids: one span
+//!   per reconfiguration plan, child events per action, sampled
+//!   per-message hop events from the sim kernel.
+//! * [`audit`] — append-only reconfiguration [`AuditLog`]: every plan,
+//!   action, outcome, rollback and channel block/release, queryable.
+//! * [`export`] — JSONL and human-table renderings of all of the above.
+//!
+//! Timestamps throughout are plain `u64` microseconds supplied by the
+//! caller; `aas-obs` has no dependency on the simulator's clock (or on
+//! anything else), which is what lets every layer of the workspace share
+//! it without cycles.
+
+pub mod audit;
+pub mod export;
+pub mod histogram;
+pub mod metrics;
+pub mod stats;
+pub mod trace;
+
+pub use audit::{AuditEntry, AuditKind, AuditLog};
+pub use histogram::{AtomicHistogram, Histogram};
+pub use metrics::{Counter, Gauge, HistogramHandle, MetricId, MetricsRegistry, MetricsSnapshot};
+pub use stats::{Counters, Ewma, Summary};
+pub use trace::{SpanId, TraceEvent, TraceKind, Tracer};
+
+use std::sync::Arc;
+
+/// One bundle of the three telemetry facets, cheaply cloneable and shared
+/// across layers (runtime, kernel, monitors, mechanisms).
+///
+/// # Examples
+///
+/// ```
+/// use aas_obs::Obs;
+///
+/// let obs = Obs::new();
+/// let sent = obs.metrics.counter("kernel.sent");
+/// sent.incr();
+/// assert_eq!(sent.get(), 1);
+/// assert_eq!(obs.metrics.snapshot().counter("kernel.sent"), Some(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// Lock-free metric registry shared by every layer.
+    pub metrics: MetricsRegistry,
+    /// Span/event ring buffer for causal traces.
+    pub tracer: Tracer,
+    /// Append-only reconfiguration audit log.
+    pub audit: AuditLog,
+}
+
+impl Obs {
+    /// Creates a fresh, empty telemetry bundle.
+    #[must_use]
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    /// Wraps a fresh bundle in an [`Arc`] for sharing across owners.
+    #[must_use]
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Obs::new())
+    }
+}

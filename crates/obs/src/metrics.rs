@@ -1,0 +1,356 @@
+//! Typed, lock-free metrics registry.
+//!
+//! Registration (name → [`MetricId`]) goes through a mutex once; the
+//! returned [`Counter`]/[`Gauge`]/[`HistogramHandle`] handles hold `Arc`s
+//! straight to the atomics, so the record path never takes a lock — a
+//! counter increment is a single relaxed `fetch_add`. This is the
+//! mechanism behind the paper's requirement that observation not degrade
+//! the observed system: the meta-level reads [`MetricsRegistry::snapshot`]
+//! on its own schedule while the base level writes wait-free.
+
+use crate::histogram::{AtomicHistogram, Histogram};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Interned identity of a registered metric; stable for the life of the
+/// registry and cheap to copy into events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricId(pub u32);
+
+/// Monotonically increasing counter handle (lock-free).
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins float gauge handle (lock-free; stored as f64 bits).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Handle to a shared [`AtomicHistogram`] (lock-free recording).
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<AtomicHistogram>);
+
+impl HistogramHandle {
+    /// Records one observation.
+    pub fn observe(&self, x: f64) {
+        self.0.observe(x);
+    }
+
+    /// Copies the current state into a plain [`Histogram`].
+    #[must_use]
+    pub fn snapshot(&self) -> Histogram {
+        self.0.snapshot()
+    }
+}
+
+#[derive(Debug)]
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<AtomicHistogram>),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    by_name: HashMap<String, MetricId>,
+    slots: Vec<(String, Slot)>,
+}
+
+/// The workspace's shared metric registry.
+///
+/// Cloning shares the underlying store, so every layer (kernel, runtime,
+/// monitors, mechanisms) can hold its own copy and register or read the
+/// same metrics.
+///
+/// # Examples
+///
+/// ```
+/// use aas_obs::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// let c = reg.counter("runtime.delivered");
+/// c.add(5);
+/// let lat = reg.histogram("runtime.e2e_latency_ms");
+/// lat.observe(12.5);
+///
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counter("runtime.delivered"), Some(5));
+/// assert_eq!(snap.histogram("runtime.e2e_latency_ms").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> Slot,
+        open: impl Fn(&Slot) -> Option<T>,
+    ) -> T {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some(&id) = inner.by_name.get(name) {
+            let (_, slot) = &inner.slots[id.0 as usize];
+            return open(slot).unwrap_or_else(|| {
+                panic!("metric `{name}` already registered as a {}", slot.kind())
+            });
+        }
+        let id = MetricId(u32::try_from(inner.slots.len()).expect("too many metrics"));
+        inner.slots.push((name.to_owned(), make()));
+        inner.by_name.insert(name.to_owned(), id);
+        open(&inner.slots[id.0 as usize].1).expect("freshly registered slot has the right type")
+    }
+
+    /// Returns the counter named `name`, registering it at zero on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        self.register(
+            name,
+            || Slot::Counter(Arc::new(AtomicU64::new(0))),
+            |slot| match slot {
+                Slot::Counter(c) => Some(Counter(Arc::clone(c))),
+                _ => None,
+            },
+        )
+    }
+
+    /// Returns the gauge named `name`, registering it at `0.0` on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.register(
+            name,
+            || Slot::Gauge(Arc::new(AtomicU64::new(0.0_f64.to_bits()))),
+            |slot| match slot {
+                Slot::Gauge(g) => Some(Gauge(Arc::clone(g))),
+                _ => None,
+            },
+        )
+    }
+
+    /// Returns the histogram named `name`, registering it empty on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        self.register(
+            name,
+            || Slot::Histogram(Arc::new(AtomicHistogram::new())),
+            |slot| match slot {
+                Slot::Histogram(h) => Some(HistogramHandle(Arc::clone(h))),
+                _ => None,
+            },
+        )
+    }
+
+    /// Interned id of `name`, if registered.
+    #[must_use]
+    pub fn id(&self, name: &str) -> Option<MetricId> {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .by_name
+            .get(name)
+            .copied()
+    }
+
+    /// Name behind an interned id, if valid.
+    #[must_use]
+    pub fn name(&self, id: MetricId) -> Option<String> {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .slots
+            .get(id.0 as usize)
+            .map(|(n, _)| n.clone())
+    }
+
+    /// Copies every metric's current value into an immutable snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut snap = MetricsSnapshot::default();
+        for (name, slot) in &inner.slots {
+            match slot {
+                Slot::Counter(c) => {
+                    snap.counters
+                        .insert(name.clone(), c.load(Ordering::Relaxed));
+                }
+                Slot::Gauge(g) => {
+                    snap.gauges
+                        .insert(name.clone(), f64::from_bits(g.load(Ordering::Relaxed)));
+                }
+                Slot::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Point-in-time copy of every metric in a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram copies by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Gauge value by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram copy by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.incr();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.snapshot().counter("x"), Some(3));
+    }
+
+    #[test]
+    fn clone_shares_the_store() {
+        let reg = MetricsRegistry::new();
+        let alias = reg.clone();
+        reg.counter("shared").incr();
+        assert_eq!(alias.snapshot().counter("shared"), Some(1));
+    }
+
+    #[test]
+    fn ids_are_stable_and_reversible() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("first");
+        let _ = reg.gauge("second");
+        let id = reg.id("second").unwrap();
+        assert_eq!(reg.name(id).as_deref(), Some("second"));
+        assert_eq!(reg.id("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("m");
+        let _ = reg.gauge("m");
+    }
+
+    #[test]
+    fn gauges_hold_last_write() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("util");
+        g.set(0.75);
+        g.set(0.5);
+        assert_eq!(g.get(), 0.5);
+        assert_eq!(reg.snapshot().gauge("util"), Some(0.5));
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let reg = MetricsRegistry::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = reg.counter("hits");
+                let h = reg.histogram("lat");
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        c.incr();
+                        h.observe(f64::from(i) + 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("hits"), Some(4000));
+        assert_eq!(snap.histogram("lat").unwrap().count(), 4000);
+    }
+}

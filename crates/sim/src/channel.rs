@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Identifier of a kernel channel.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ChannelId(pub u64);
 
 impl fmt::Display for ChannelId {

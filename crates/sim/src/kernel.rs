@@ -13,6 +13,7 @@ use crate::node::NodeId;
 use crate::rng::SimRng;
 use crate::stats::Counters;
 use crate::time::{SimDuration, SimTime};
+use aas_obs::{SpanId, Tracer};
 
 /// Outcome of a [`Kernel::send`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +109,7 @@ pub struct Kernel<M> {
     channels: Vec<Channel<M>>,
     rng: SimRng,
     counters: Counters,
+    tracer: Tracer,
     next_timer_tag: u64,
 }
 
@@ -122,6 +124,7 @@ impl<M> Kernel<M> {
             channels: Vec::new(),
             rng: SimRng::seed_from(seed),
             counters: Counters::new(),
+            tracer: Tracer::new(),
             next_timer_tag: 0,
         }
     }
@@ -152,6 +155,19 @@ impl<M> Kernel<M> {
     #[must_use]
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// Replaces the kernel's tracer, typically with a shared workspace
+    /// [`Tracer`] so kernel hop events interleave with runtime spans.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The kernel's tracer. Per-message hop recording is off until
+    /// [`Tracer::set_hop_sampling`] enables it.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     // ----- channels --------------------------------------------------
@@ -209,6 +225,12 @@ impl<M> Kernel<M> {
     /// "manage messages in transit" behaviour the paper describes.
     pub fn block_channel(&mut self, ch: ChannelId) {
         self.channel_mut(ch).blocked = true;
+        self.tracer.event(
+            SpanId::NONE,
+            "queue",
+            &format!("block ch={}", ch.0),
+            self.now.as_micros(),
+        );
     }
 
     /// Unblocks a channel, rescheduling all held messages for immediate
@@ -232,6 +254,12 @@ impl<M> Kernel<M> {
             );
         }
         self.counters.add("released", held_count);
+        self.tracer.event(
+            SpanId::NONE,
+            "queue",
+            &format!("release ch={} held={held_count}", ch.0),
+            now.as_micros(),
+        );
     }
 
     /// Sends `msg` of `size` bytes on channel `ch`.
@@ -262,6 +290,13 @@ impl<M> Kernel<M> {
             c.stats.sent += 1;
         }
         self.counters.incr("sent");
+        if self.tracer.sample_hop() {
+            self.tracer.hop(
+                "send",
+                &format!("ch={} {}->{}", ch.0, src.0, dst.0),
+                self.now.as_micros(),
+            );
+        }
         let sent_at = self.now;
         self.queue.push(
             arrival,
@@ -289,7 +324,8 @@ impl<M> Kernel<M> {
     pub fn set_timer(&mut self, delay: SimDuration) -> u64 {
         let tag = self.next_timer_tag;
         self.next_timer_tag += 1;
-        self.queue.push(self.now + delay, KernelEvent::Timer { tag });
+        self.queue
+            .push(self.now + delay, KernelEvent::Timer { tag });
         tag
     }
 
@@ -297,7 +333,8 @@ impl<M> Kernel<M> {
     /// collide with automatic tags if mixed carelessly; prefer one scheme
     /// per runtime.
     pub fn set_timer_with_tag(&mut self, delay: SimDuration, tag: u64) {
-        self.queue.push(self.now + delay, KernelEvent::Timer { tag });
+        self.queue
+            .push(self.now + delay, KernelEvent::Timer { tag });
     }
 
     // ----- faults -----------------------------------------------------
@@ -362,6 +399,10 @@ impl<M> Kernel<M> {
                         c.held.push_back(HeldMessage { msg, size, sent_at });
                         c.stats.held = c.held.len() as u64;
                         self.counters.incr("held");
+                        if self.tracer.sample_hop() {
+                            self.tracer
+                                .hop("hold", &format!("ch={}", channel.0), at.as_micros());
+                        }
                         continue; // invisible to the application; keep stepping
                     }
                     if !self.topology.node(dst).is_up() {
@@ -377,6 +418,14 @@ impl<M> Kernel<M> {
                     }
                     self.channel_mut(channel).stats.delivered += 1;
                     self.counters.incr("delivered");
+                    if self.tracer.sample_hop() {
+                        let delay_us = at.saturating_since(sent_at).as_micros();
+                        self.tracer.hop(
+                            "deliver",
+                            &format!("ch={} delay_us={delay_us}", channel.0),
+                            at.as_micros(),
+                        );
+                    }
                     return Some((
                         at,
                         Fired::Delivered {
@@ -596,6 +645,50 @@ mod tests {
         assert_eq!(k.counters().get("sent"), 1);
         assert_eq!(k.counters().get("delivered"), 1);
         assert_eq!(k.counters().get("dropped"), 0);
+    }
+
+    #[test]
+    fn hop_tracing_is_off_by_default_and_sampled_when_on() {
+        let (mut k, a, b) = kernel2();
+        let ch = k.open_channel(a, b);
+        for i in 0..10 {
+            k.send(ch, i, 10);
+        }
+        let _ = drain(&mut k);
+        assert!(k.tracer().is_empty(), "no hops recorded with sampling off");
+
+        k.tracer().set_hop_sampling(1);
+        for i in 0..5 {
+            k.send(ch, i, 10);
+        }
+        let _ = drain(&mut k);
+        let events = k.tracer().events();
+        let sends = events.iter().filter(|e| e.name == "send").count();
+        let delivers = events.iter().filter(|e| e.name == "deliver").count();
+        assert_eq!(sends, 5);
+        assert_eq!(delivers, 5);
+    }
+
+    #[test]
+    fn block_and_release_leave_queue_events() {
+        let (mut k, a, b) = kernel2();
+        let ch = k.open_channel(a, b);
+        k.block_channel(ch);
+        k.send(ch, 1, 10);
+        assert!(k.step().is_none());
+        k.unblock_channel(ch);
+        let _ = drain(&mut k);
+        let queue_events: Vec<String> = k
+            .tracer()
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "queue")
+            .map(|e| e.detail)
+            .collect();
+        assert_eq!(queue_events.len(), 2);
+        assert!(queue_events[0].starts_with("block"));
+        assert!(queue_events[1].starts_with("release"));
+        assert!(queue_events[1].contains("held=1"));
     }
 
     #[test]

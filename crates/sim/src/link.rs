@@ -6,9 +6,7 @@ use core::fmt;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a link in the topology.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LinkId(pub u32);
 
 impl fmt::Display for LinkId {

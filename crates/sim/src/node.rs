@@ -11,9 +11,7 @@ use core::fmt;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a node in the topology.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
@@ -210,8 +208,7 @@ mod tests {
 
     #[test]
     fn capacity_trace_slows_node() {
-        let spec = NodeSpec::new("n", 100.0)
-            .with_capacity_trace(ResourceTrace::constant(0.5));
+        let spec = NodeSpec::new("n", 100.0).with_capacity_trace(ResourceTrace::constant(0.5));
         let mut n = Node::new(NodeId(1), spec);
         let d = n.run_job(SimTime::ZERO, 100.0);
         assert_eq!(d, SimDuration::from_secs(2));
@@ -219,8 +216,7 @@ mod tests {
 
     #[test]
     fn capacity_never_hits_zero() {
-        let spec = NodeSpec::new("n", 100.0)
-            .with_capacity_trace(ResourceTrace::constant(0.0));
+        let spec = NodeSpec::new("n", 100.0).with_capacity_trace(ResourceTrace::constant(0.0));
         let n = Node::new(NodeId(1), spec);
         assert!(n.effective_capacity(SimTime::ZERO) >= 1.0);
     }

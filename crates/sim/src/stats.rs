@@ -1,370 +1,37 @@
-//! Metric primitives used by monitors, the RAML meta-level and benches:
-//! counters, exponentially-weighted moving averages, running summaries and
-//! a fixed-memory quantile histogram.
+//! Metric primitives, re-exported from `aas-obs`.
+//!
+//! The canonical implementations live in the workspace telemetry crate
+//! (`aas-obs`); this module keeps the historical `aas_sim::stats::*` paths
+//! working and adds the one piece that is simulator-specific: recording
+//! [`SimDuration`]s into histograms via [`ObserveDuration`].
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
-/// Exponentially-weighted moving average.
+pub use aas_obs::{Counters, Ewma, Histogram, Summary};
+
+/// Extension trait: record a [`SimDuration`] into a latency histogram.
 ///
-/// Used by QoS monitors for smoothed latency/utilization signals.
-///
-/// # Examples
-///
-/// ```
-/// use aas_sim::stats::Ewma;
-///
-/// let mut e = Ewma::new(0.5);
-/// e.observe(10.0);
-/// e.observe(20.0);
-/// assert_eq!(e.value(), 15.0);
-/// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Ewma {
-    alpha: f64,
-    value: Option<f64>,
-}
-
-impl Ewma {
-    /// Creates a new EWMA with smoothing factor `alpha` in `(0, 1]`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `alpha` is outside `(0, 1]`.
-    #[must_use]
-    pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        Ewma { alpha, value: None }
-    }
-
-    /// Feeds one observation.
-    pub fn observe(&mut self, x: f64) {
-        self.value = Some(match self.value {
-            None => x,
-            Some(v) => v + self.alpha * (x - v),
-        });
-    }
-
-    /// Current smoothed value; `0.0` before any observation.
-    #[must_use]
-    pub fn value(&self) -> f64 {
-        self.value.unwrap_or(0.0)
-    }
-
-    /// True if at least one observation has been fed.
-    #[must_use]
-    pub fn is_primed(&self) -> bool {
-        self.value.is_some()
-    }
-
-    /// Forgets all observations.
-    pub fn reset(&mut self) {
-        self.value = None;
-    }
-}
-
-/// Running count / mean / min / max / variance (Welford's algorithm).
+/// Durations are recorded in **milliseconds**, the unit every monitor and
+/// report in the workspace uses for latency.
 ///
 /// # Examples
 ///
 /// ```
-/// use aas_sim::stats::Summary;
-///
-/// let mut s = Summary::new();
-/// for x in [1.0, 2.0, 3.0] { s.observe(x); }
-/// assert_eq!(s.mean(), 2.0);
-/// assert_eq!(s.min(), 1.0);
-/// assert_eq!(s.max(), 3.0);
-/// assert_eq!(s.count(), 3);
-/// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct Summary {
-    count: u64,
-    mean: f64,
-    m2: f64,
-    min: f64,
-    max: f64,
-}
-
-impl Summary {
-    /// Creates an empty summary.
-    #[must_use]
-    pub fn new() -> Self {
-        Summary {
-            count: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
-    }
-
-    /// Feeds one observation.
-    pub fn observe(&mut self, x: f64) {
-        self.count += 1;
-        let delta = x - self.mean;
-        self.mean += delta / self.count as f64;
-        self.m2 += delta * (x - self.mean);
-        self.min = self.min.min(x);
-        self.max = self.max.max(x);
-    }
-
-    /// Number of observations.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Arithmetic mean; `0.0` when empty.
-    #[must_use]
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.mean
-        }
-    }
-
-    /// Population variance; `0.0` with fewer than two observations.
-    #[must_use]
-    pub fn variance(&self) -> f64 {
-        if self.count < 2 {
-            0.0
-        } else {
-            self.m2 / self.count as f64
-        }
-    }
-
-    /// Population standard deviation.
-    #[must_use]
-    pub fn std_dev(&self) -> f64 {
-        self.variance().sqrt()
-    }
-
-    /// Smallest observation; `0.0` when empty.
-    #[must_use]
-    pub fn min(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.min
-        }
-    }
-
-    /// Largest observation; `0.0` when empty.
-    #[must_use]
-    pub fn max(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.max
-        }
-    }
-
-    /// Merges another summary into this one.
-    pub fn merge(&mut self, other: &Summary) {
-        if other.count == 0 {
-            return;
-        }
-        if self.count == 0 {
-            *self = other.clone();
-            return;
-        }
-        let n1 = self.count as f64;
-        let n2 = other.count as f64;
-        let delta = other.mean - self.mean;
-        let total = n1 + n2;
-        self.mean += delta * n2 / total;
-        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
-        self.count += other.count;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-    }
-}
-
-/// Fixed-memory log-bucketed histogram for latency-like positive values.
-///
-/// Buckets grow geometrically, giving ~4% relative quantile error over nine
-/// decades with 512 buckets — plenty for simulation reporting.
-///
-/// # Examples
-///
-/// ```
-/// use aas_sim::stats::Histogram;
+/// use aas_sim::stats::{Histogram, ObserveDuration};
+/// use aas_sim::time::SimDuration;
 ///
 /// let mut h = Histogram::new();
-/// for x in 1..=1000 { h.observe(x as f64); }
-/// let p50 = h.quantile(0.5);
-/// assert!((p50 - 500.0).abs() / 500.0 < 0.06);
+/// h.observe_duration(SimDuration::from_millis(250));
+/// assert!((h.mean() - 250.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Histogram {
-    buckets: Vec<u64>,
-    count: u64,
-    sum: f64,
-    min: f64,
-    max: f64,
+pub trait ObserveDuration {
+    /// Records a duration in milliseconds.
+    fn observe_duration(&mut self, d: SimDuration);
 }
 
-const HIST_BUCKETS: usize = 512;
-/// Lower edge of the first bucket; values below land in bucket 0.
-const HIST_LO: f64 = 1e-3;
-/// Upper edge of the last bucket; values above land in the last bucket.
-const HIST_HI: f64 = 1e9;
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// Creates an empty histogram.
-    #[must_use]
-    pub fn new() -> Self {
-        Histogram {
-            buckets: vec![0; HIST_BUCKETS],
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
-    }
-
-    fn index_of(x: f64) -> usize {
-        if x <= HIST_LO {
-            return 0;
-        }
-        if x >= HIST_HI {
-            return HIST_BUCKETS - 1;
-        }
-        let frac = (x / HIST_LO).ln() / (HIST_HI / HIST_LO).ln();
-        ((frac * HIST_BUCKETS as f64) as usize).min(HIST_BUCKETS - 1)
-    }
-
-    fn bucket_value(i: usize) -> f64 {
-        // Geometric midpoint of bucket i.
-        let step = (HIST_HI / HIST_LO).ln() / HIST_BUCKETS as f64;
-        HIST_LO * ((i as f64 + 0.5) * step).exp()
-    }
-
-    /// Records one non-negative observation. Negative or non-finite values
-    /// are ignored.
-    pub fn observe(&mut self, x: f64) {
-        if !x.is_finite() || x < 0.0 {
-            return;
-        }
-        self.buckets[Self::index_of(x)] += 1;
-        self.count += 1;
-        self.sum += x;
-        self.min = self.min.min(x);
-        self.max = self.max.max(x);
-    }
-
-    /// Records a duration in **milliseconds**.
-    pub fn observe_duration(&mut self, d: SimDuration) {
+impl ObserveDuration for Histogram {
+    fn observe_duration(&mut self, d: SimDuration) {
         self.observe(d.as_micros() as f64 / 1e3);
-    }
-
-    /// Number of recorded observations.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean of recorded observations; `0.0` when empty.
-    #[must_use]
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum / self.count as f64
-        }
-    }
-
-    /// The `q`-quantile (`q` clamped to `[0, 1]`); `0.0` when empty.
-    ///
-    /// Exact min/max are returned at the extremes; interior quantiles carry
-    /// the bucket's relative error.
-    #[must_use]
-    pub fn quantile(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        if q == 0.0 {
-            return self.min;
-        }
-        if q == 1.0 {
-            return self.max;
-        }
-        let target = (q * self.count as f64).ceil() as u64;
-        let mut seen = 0;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Self::bucket_value(i).clamp(self.min, self.max);
-            }
-        }
-        self.max
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-    }
-}
-
-/// A monotonically increasing named counter set.
-///
-/// # Examples
-///
-/// ```
-/// use aas_sim::stats::Counters;
-///
-/// let mut c = Counters::new();
-/// c.add("msgs_sent", 3);
-/// c.incr("msgs_sent");
-/// assert_eq!(c.get("msgs_sent"), 4);
-/// assert_eq!(c.get("unknown"), 0);
-/// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct Counters {
-    map: std::collections::BTreeMap<String, u64>,
-}
-
-impl Counters {
-    /// Creates an empty counter set.
-    #[must_use]
-    pub fn new() -> Self {
-        Counters::default()
-    }
-
-    /// Adds `n` to counter `name`, creating it at zero if absent.
-    pub fn add(&mut self, name: &str, n: u64) {
-        *self.map.entry(name.to_owned()).or_insert(0) += n;
-    }
-
-    /// Adds one to counter `name`.
-    pub fn incr(&mut self, name: &str) {
-        self.add(name, 1);
-    }
-
-    /// Reads counter `name`; zero if it was never touched.
-    #[must_use]
-    pub fn get(&self, name: &str) -> u64 {
-        self.map.get(name).copied().unwrap_or(0)
-    }
-
-    /// Iterates over `(name, value)` pairs in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.map.iter().map(|(k, v)| (k.as_str(), *v))
     }
 }
 
@@ -373,62 +40,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ewma_tracks_step() {
-        let mut e = Ewma::new(0.2);
+    fn histogram_duration_is_millis() {
+        let mut h = Histogram::new();
+        h.observe_duration(SimDuration::from_millis(250));
+        assert!((h.mean() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reexports_are_the_canonical_types() {
+        // One EWMA in the workspace: this path and the aas-obs path must
+        // name the same type.
+        fn takes_obs(e: aas_obs::Ewma) -> Ewma {
+            e
+        }
+        let e = takes_obs(Ewma::new(0.5));
         assert!(!e.is_primed());
-        for _ in 0..100 {
-            e.observe(50.0);
-        }
-        assert!((e.value() - 50.0).abs() < 1e-6);
-        e.observe(100.0);
-        assert!(e.value() > 50.0 && e.value() < 100.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "alpha")]
-    fn ewma_rejects_bad_alpha() {
-        let _ = Ewma::new(0.0);
-    }
-
-    #[test]
-    fn summary_matches_hand_computation() {
-        let mut s = Summary::new();
-        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
-            s.observe(x);
-        }
-        assert!((s.mean() - 5.0).abs() < 1e-9);
-        assert!((s.std_dev() - 2.0).abs() < 1e-9);
-        assert_eq!(s.min(), 2.0);
-        assert_eq!(s.max(), 9.0);
-    }
-
-    #[test]
-    fn summary_merge_equals_combined() {
-        let mut a = Summary::new();
-        let mut b = Summary::new();
-        let mut all = Summary::new();
-        for i in 0..100 {
-            let x = (i as f64).sin() * 10.0;
-            if i % 2 == 0 {
-                a.observe(x);
-            } else {
-                b.observe(x);
-            }
-            all.observe(x);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), all.count());
-        assert!((a.mean() - all.mean()).abs() < 1e-9);
-        assert!((a.variance() - all.variance()).abs() < 1e-9);
-    }
-
-    #[test]
-    fn summary_empty_is_zeroed() {
-        let s = Summary::new();
-        assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.min(), 0.0);
-        assert_eq!(s.max(), 0.0);
-        assert_eq!(s.variance(), 0.0);
     }
 
     #[test]
@@ -449,46 +75,7 @@ mod tests {
     }
 
     #[test]
-    fn histogram_ignores_garbage() {
-        let mut h = Histogram::new();
-        h.observe(f64::NAN);
-        h.observe(-1.0);
-        h.observe(f64::INFINITY);
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile(0.5), 0.0);
-    }
-
-    #[test]
-    fn histogram_merge_adds_counts() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        a.observe(1.0);
-        b.observe(100.0);
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.quantile(0.0), 1.0);
-        assert_eq!(a.quantile(1.0), 100.0);
-    }
-
-    #[test]
-    fn histogram_duration_is_millis() {
-        let mut h = Histogram::new();
-        h.observe_duration(SimDuration::from_millis(250));
-        assert!((h.mean() - 250.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn counters_roundtrip() {
-        let mut c = Counters::new();
-        c.incr("a");
-        c.add("b", 10);
-        c.incr("a");
-        let pairs: Vec<(String, u64)> = c.iter().map(|(k, v)| (k.to_owned(), v)).collect();
-        assert_eq!(pairs, vec![("a".into(), 2), ("b".into(), 10)]);
-    }
-
-    #[test]
-    fn extreme_values_clamp_to_edge_buckets() {
+    fn extreme_values_keep_exact_min_max() {
         let mut h = Histogram::new();
         h.observe(1e-9);
         h.observe(1e12);

@@ -276,10 +276,7 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
-        assert_eq!(
-            SimDuration::from_millis(7),
-            SimDuration::from_micros(7_000)
-        );
+        assert_eq!(SimDuration::from_millis(7), SimDuration::from_micros(7_000));
     }
 
     #[test]
@@ -335,6 +332,9 @@ mod tests {
     #[test]
     fn add_saturates_at_max() {
         assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
-        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::MAX + SimDuration::from_secs(1),
+            SimDuration::MAX
+        );
     }
 }

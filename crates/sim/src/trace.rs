@@ -198,8 +198,7 @@ impl ResourceTrace {
                 if period.is_zero() {
                     return *base;
                 }
-                let phase = (t.as_micros() % period.as_micros()) as f64
-                    / period.as_micros() as f64;
+                let phase = (t.as_micros() % period.as_micros()) as f64 / period.as_micros() as f64;
                 base + amplitude * (phase * std::f64::consts::TAU).sin()
             }
             ResourceTrace::RushHour {
@@ -236,8 +235,7 @@ impl ResourceTrace {
                     return *base;
                 }
                 let k = t.as_micros() / step.as_micros();
-                let frac = (t.as_micros() % step.as_micros()) as f64
-                    / step.as_micros() as f64;
+                let frac = (t.as_micros() % step.as_micros()) as f64 / step.as_micros() as f64;
                 let a = hash_noise(*seed, k) * 2.0 - 1.0;
                 let b = hash_noise(*seed, k + 1) * 2.0 - 1.0;
                 base + amplitude * (a + (b - a) * frac)

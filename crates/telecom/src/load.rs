@@ -84,9 +84,7 @@ impl LoadGenerator {
             let id = SessionId(self.next_id);
             self.next_id += 1;
             events.push((t, LoadEvent::SessionStart(id)));
-            let dur = SimDuration::from_secs_f64(
-                self.rng.exp(self.mean_duration.as_secs_f64()),
-            );
+            let dur = SimDuration::from_secs_f64(self.rng.exp(self.mean_duration.as_secs_f64()));
             let end = t + dur;
             if end < horizon {
                 events.push((end, LoadEvent::SessionEnd(id)));
@@ -127,8 +125,8 @@ mod tests {
 
     fn rush_trace() -> ResourceTrace {
         ResourceTrace::rush_hour(
-            0.5,  // base arrivals/s
-            5.0,  // peak arrivals/s
+            0.5, // base arrivals/s
+            5.0, // peak arrivals/s
             SimTime::from_secs(300),
             SimTime::from_secs(600),
             SimDuration::from_secs(60),

@@ -211,7 +211,13 @@ mod tests {
     #[test]
     fn out_of_field_positions_clamp() {
         let g = grid();
-        assert_eq!(g.cell_of(Position { x: 5000.0, y: 5000.0 }), CellId(15));
+        assert_eq!(
+            g.cell_of(Position {
+                x: 5000.0,
+                y: 5000.0
+            }),
+            CellId(15)
+        );
     }
 
     #[test]

@@ -149,8 +149,7 @@ impl Component for MediaSource {
         self.level = snap.require("level")?.as_int().unwrap_or(0).max(0) as usize;
         self.level = self.level.min(self.ladder.len() - 1);
         self.active_sessions = snap.require("active_sessions")?.as_int().unwrap_or(0);
-        self.frames_emitted =
-            snap.require("frames_emitted")?.as_int().unwrap_or(0).max(0) as u64;
+        self.frames_emitted = snap.require("frames_emitted")?.as_int().unwrap_or(0).max(0) as u64;
         self.running = snap
             .field("running")
             .and_then(Value::as_bool)
@@ -204,11 +203,7 @@ impl Component for Transcoder {
     fn on_message(&mut self, ctx: &mut CallCtx, msg: &Message) -> Result<(), ComponentError> {
         match msg.op.as_str() {
             "frame" => {
-                let bytes = msg
-                    .value
-                    .get("bytes")
-                    .and_then(Value::as_int)
-                    .unwrap_or(0);
+                let bytes = msg.value.get("bytes").and_then(Value::as_int).unwrap_or(0);
                 let out_bytes = (bytes as f64 * self.ratio).round() as i64;
                 self.frames += 1;
                 self.bytes_out += out_bytes.max(0) as u64;
@@ -306,8 +301,7 @@ impl Component for MediaSink {
                     .and_then(Value::as_float)
                     .unwrap_or(0.0);
                 self.quality_sum += q;
-                let latency_ms =
-                    ctx.now().saturating_since(msg.sent_at).as_micros() as f64 / 1e3;
+                let latency_ms = ctx.now().saturating_since(msg.sent_at).as_micros() as f64 / 1e3;
                 ctx.metric("frame_latency_ms", latency_ms);
                 ctx.metric("delivered_quality", q);
                 Ok(())
@@ -413,7 +407,8 @@ mod tests {
     fn source_level_changes_frame_size() {
         let mut s = MediaSource::default();
         let mut c = ctx();
-        s.on_message(&mut c, &Message::event("init", Value::Null)).unwrap();
+        s.on_message(&mut c, &Message::event("init", Value::Null))
+            .unwrap();
         s.on_message(&mut c, &Message::event("session_start", Value::Null))
             .unwrap();
         let frame_bytes = |s: &mut MediaSource| {
@@ -492,10 +487,7 @@ mod tests {
         for q in [1.0, 0.5] {
             let mut frame = Message::event(
                 "frame",
-                Value::map([
-                    ("bytes", Value::Int(100)),
-                    ("quality", Value::Float(q)),
-                ]),
+                Value::map([("bytes", Value::Int(100)), ("quality", Value::Float(q))]),
             );
             frame.sent_at = SimTime::from_millis(90);
             sink.on_message(&mut c, &frame).unwrap();

@@ -147,8 +147,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fired = rt.raml().expect("raml").rules()[0].fired_count();
     println!("rule `offload` fired {fired} time(s)");
     assert_eq!(
-        coder_node,
-        deployment.node_ids["core"],
+        coder_node, deployment.node_ids["core"],
         "transcoder should have been offloaded to the core node"
     );
     let snap = rt.observe();

@@ -27,11 +27,13 @@ fn main() {
         "codec",
         Interface::new("Echo", vec![Signature::one_way("echo")]),
     ));
-    fw.plug("codec", Box::new(EchoComponent::default())).unwrap();
+    fw.plug("codec", Box::new(EchoComponent::default()))
+        .unwrap();
     fw.install_aspect(FrameworkAspect::new("audit", |slot, m| {
         m.value.set("audited-slot", Value::from(slot));
     }));
-    fw.plug("codec", Box::new(EchoComponent::default())).unwrap(); // interchange
+    fw.plug("codec", Box::new(EchoComponent::default()))
+        .unwrap(); // interchange
     println!(
         " 1. composition-framework: slot `codec` interchanged {} time(s), aspect installed",
         fw.interchanges("codec")
@@ -42,7 +44,9 @@ fn main() {
     strategies.register(Box::new(FnStrategy::new("hq", |x: &f64| x * 0.9)));
     strategies.register(Box::new(FnStrategy::new("lq", |x: &f64| x * 0.4)));
     let mut switcher = IntrospectiveSwitcher::new();
-    switcher.rule("lq", |load| load > 0.8).rule("hq", |load| load < 0.3);
+    switcher
+        .rule("lq", |load| load > 0.8)
+        .rule("hq", |load| load < 0.3);
     let switched = switcher.observe(0.95, &mut strategies);
     println!(
         " 2. strategy: high load observed -> switched to {:?} (active: {})",
@@ -69,7 +73,9 @@ fn main() {
 
     // 4. Composition filters: runtime-attachable, declarative.
     let mut pipeline = FilterPipeline::new(FilterMode::Runtime);
-    pipeline.attach(Box::new(RejectFilter::new(["debug_*"]))).unwrap();
+    pipeline
+        .attach(Box::new(RejectFilter::new(["debug_*"])))
+        .unwrap();
     pipeline
         .attach(Box::new(TransformFilter::new("*", "filtered", |_| {
             Value::Bool(true)
@@ -130,8 +136,7 @@ fn main() {
         )
         .unwrap();
     let conflict = chain.compose(
-        MetaObject::new("lz4", 5, |_| {})
-            .with_prop(WrapperProp::Exclusive("compression".into())),
+        MetaObject::new("lz4", 5, |_| {}).with_prop(WrapperProp::Exclusive("compression".into())),
     );
     println!(
         " 7. interaction-pattern: chain {:?}; second compressor rejected: {}",
@@ -159,7 +164,9 @@ fn main() {
     injectors.install(Injector::new(
         "canary",
         ["billing".to_owned()],
-        InjectedBehavior::Reroute { to: "billing-v2".into() },
+        InjectedBehavior::Reroute {
+            to: "billing-v2".into(),
+        },
     ));
     let mut msg = Message::request("charge", Value::Null);
     let outcome = injectors.intercept("billing", &mut msg);

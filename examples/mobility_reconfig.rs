@@ -20,8 +20,8 @@
 use aas_core::config::{BindingDecl, ComponentDecl, Configuration};
 use aas_core::connector::ConnectorSpec;
 use aas_core::message::{Message, Value};
-use aas_core::registry::ImplementationRegistry;
 use aas_core::reconfig::{ReconfigAction, ReconfigPlan};
+use aas_core::registry::ImplementationRegistry;
 use aas_core::runtime::Runtime;
 use aas_sim::network::Topology;
 use aas_sim::node::NodeId;
@@ -164,7 +164,14 @@ fn main() {
     );
     println!(
         "{:<12} {:>7} {:>10} {:>10} {:>10} {:>11} {:>10} {:>9}",
-        "policy", "frames", "mean(ms)", "p99(ms)", "handovers", "migrations", "blackout", "anomalies"
+        "policy",
+        "frames",
+        "mean(ms)",
+        "p99(ms)",
+        "handovers",
+        "migrations",
+        "blackout",
+        "anomalies"
     );
     for follow in [false, true] {
         let o = run(follow);

@@ -1,6 +1,7 @@
 //! Quickstart: assemble a two-component app, run traffic through a
 //! connector, then hot-swap the server's implementation mid-stream —
-//! strong reconfiguration, no message lost.
+//! strong reconfiguration, no message lost. Finishes by exporting the
+//! run's telemetry (metrics + reconfiguration audit trail) as JSONL.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -122,6 +123,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(greeter.version, 2, "v2 is live");
     assert_eq!(greeter.processed, 10, "all ten requests served");
     assert_eq!(greeter.seq_anomalies, 0, "no loss, no duplication");
-    println!("greeter now at v{} having served {} messages", greeter.version, greeter.processed);
+    println!(
+        "greeter now at v{} having served {} messages",
+        greeter.version, greeter.processed
+    );
+
+    // 6. Everything the run recorded is exportable as JSONL: the shared
+    //    metrics registry and the append-only reconfiguration audit log.
+    let obs = rt.obs();
+    println!("\n--- metrics (JSONL) ---");
+    print!(
+        "{}",
+        aas_obs::export::metrics_jsonl(&obs.metrics.snapshot())
+    );
+    println!("--- audit trail (JSONL) ---");
+    print!("{}", aas_obs::export::audit_jsonl(&obs.audit.entries()));
     Ok(())
 }

@@ -127,10 +127,8 @@ fn run(policy: Policy) -> Outcome {
         )),
     };
     // The actuator is "levels shed": 0 = full 1080p, 4 = audio-only.
-    let mut tracker = ComplianceTracker::new(QosContract::upper(
-        "backlog_ms",
-        BACKLOG_TARGET_MS * 2.0,
-    ));
+    let mut tracker =
+        ComplianceTracker::new(QosContract::upper("backlog_ms", BACKLOG_TARGET_MS * 2.0));
     let mut current_level: i64 = 4;
     let mut switches = 0u64;
 
@@ -140,12 +138,7 @@ fn run(policy: Policy) -> Outcome {
     while t < horizon {
         t += period;
         rt.run_until(t);
-        let backlog = rt
-            .topology()
-            .node(NodeId(0))
-            .backlog(rt.now())
-            .as_micros() as f64
-            / 1e3;
+        let backlog = rt.topology().node(NodeId(0)).backlog(rt.now()).as_micros() as f64 / 1e3;
         tracker.sample(rt.now(), backlog);
         if let Some(cl) = control.as_mut() {
             let shed = cl.tick(backlog, period.as_secs_f64());
@@ -199,7 +192,12 @@ fn main() {
         let o = run(policy);
         println!(
             "{:<14} {:>8} {:>10.3} {:>11.1}% {:>12.0}ms {:>9}",
-            o.policy, o.frames, o.mean_quality, o.violation_pct, o.worst_backlog_ms, o.level_switches
+            o.policy,
+            o.frames,
+            o.mean_quality,
+            o.violation_pct,
+            o.worst_backlog_ms,
+            o.level_switches
         );
     }
     println!(

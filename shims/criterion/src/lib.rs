@@ -1,0 +1,117 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion` / `Bencher` surface the workspace benches use
+//! (`bench_function`, `b.iter(..)`, `black_box`, `criterion_group!`,
+//! `criterion_main!`). Each benchmark runs a short warmup, then a timed
+//! run, and prints mean ns/iter. No statistics machinery, no plots — just
+//! honest wall-clock numbers that work without crates.io access.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Drives one benchmark body; mirrors `criterion::Bencher`.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    pub last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: a warmup (~50ms), then a timed run
+    /// (~300ms or at least 30 iterations), recording mean ns/iter.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup, also used to size the timed run.
+        let warmup = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warmup.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let target = Duration::from_millis(300).as_nanos() as f64;
+        let timed_iters = ((target / per_iter.max(1.0)) as u64).clamp(30, 50_000_000);
+
+        let start = Instant::now();
+        for _ in 0..timed_iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.last_ns_per_iter = elapsed.as_nanos() as f64 / timed_iters as f64;
+    }
+}
+
+/// Benchmark registry/driver; mirrors `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` as the benchmark named `id` and prints its timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            last_ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        if b.last_ns_per_iter >= 1_000_000.0 {
+            println!("{id:<40} {:>12.3} ms/iter", b.last_ns_per_iter / 1e6);
+        } else if b.last_ns_per_iter >= 1_000.0 {
+            println!("{id:<40} {:>12.3} µs/iter", b.last_ns_per_iter / 1e3);
+        } else {
+            println!("{id:<40} {:>12.1} ns/iter", b.last_ns_per_iter);
+        }
+        self
+    }
+
+    /// Accepted for compatibility; configuration is fixed in this shim.
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; configuration is fixed in this shim.
+    #[must_use]
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+}
+
+/// Collects bench functions into a group runner; mirrors criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running each group; mirrors criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            last_ns_per_iter: 0.0,
+        };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.last_ns_per_iter > 0.0);
+    }
+}

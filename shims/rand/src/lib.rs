@@ -1,0 +1,194 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides exactly the API surface this workspace uses — `rngs::SmallRng`,
+//! [`Rng`] and [`SeedableRng`] — backed by xoshiro256++ seeded through
+//! splitmix64. Statistical quality is more than adequate for simulation
+//! workloads; the crate exists so the workspace builds without network
+//! access to crates.io.
+
+/// Uniform sampling from a range, used by [`Rng::random_range`].
+pub trait SampleRange {
+    /// The value type produced.
+    type Output;
+    /// Draws one value from `self` using `bits` as the entropy source.
+    fn sample(self, bits: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+impl SampleRange for core::ops::Range<u64> {
+    type Output = u64;
+    fn sample(self, bits: &mut dyn FnMut() -> u64) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end - self.start;
+        // Lemire's multiply-shift; bias is < 2^-64 per draw.
+        let hi = ((u128::from(bits()) * u128::from(span)) >> 64) as u64;
+        self.start + hi
+    }
+}
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, bits: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let unit = (bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + (self.end - self.start) * unit;
+        // Guard against rounding up to the excluded upper bound.
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+/// Types producible by [`Rng::random`].
+pub trait FromRandomBits {
+    /// Builds a value from the entropy source `bits`.
+    fn from_bits_source(bits: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl FromRandomBits for u64 {
+    fn from_bits_source(bits: &mut dyn FnMut() -> u64) -> u64 {
+        bits()
+    }
+}
+
+impl FromRandomBits for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn from_bits_source(bits: &mut dyn FnMut() -> u64) -> f64 {
+        (bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandomBits for bool {
+    fn from_bits_source(bits: &mut dyn FnMut() -> u64) -> bool {
+        bits() & 1 == 1
+    }
+}
+
+impl FromRandomBits for u32 {
+    fn from_bits_source(bits: &mut dyn FnMut() -> u64) -> u32 {
+        (bits() >> 32) as u32
+    }
+}
+
+/// The subset of `rand::Rng` this workspace uses.
+pub trait Rng {
+    /// The raw 64-bit entropy source.
+    fn next_bits(&mut self) -> u64;
+
+    /// A uniformly random value of `T`.
+    fn random<T: FromRandomBits>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        let mut f = || self.next_bits();
+        T::from_bits_source(&mut f)
+    }
+
+    /// A uniformly random value drawn from `range`.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        let mut f = || self.next_bits();
+        range.sample(&mut f)
+    }
+}
+
+/// The subset of `rand::SeedableRng` this workspace uses.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Generator namespace, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically strong enough for
+    /// simulation; mirrors `rand::rngs::SmallRng`'s role.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            let s = [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_bits(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(r.random_range(0u64..7) < 7);
+            let v = r.random_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_uniform_is_half() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.random::<f64>()).sum();
+        assert!((sum / f64::from(n) - 0.5).abs() < 0.01);
+    }
+}

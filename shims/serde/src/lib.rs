@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derives from the local
+//! `serde_derive` shim. The workspace only ever *derives* these — no code
+//! path calls serde serialization (structured output is hand-rendered by
+//! `aas-obs::export`), so empty expansions are sufficient and keep the
+//! workspace building without crates.io access.
+
+pub use serde_derive::{Deserialize, Serialize};

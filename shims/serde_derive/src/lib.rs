@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as
+//! documentation of intent — nothing serializes through serde (the JSONL
+//! exporters in `aas-obs` hand-render their output). These derives expand
+//! to nothing, which keeps every annotated type compiling without the real
+//! serde machinery or network access to crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

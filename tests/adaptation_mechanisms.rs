@@ -118,7 +118,10 @@ fn connector_interchange_keeps_service_fully_available() {
     let sink = snap.component("sink").unwrap();
     assert_eq!(sink.processed, 200, "20 interchanges, zero disruption");
     assert_eq!(sink.seq_anomalies, 0);
-    assert!(rt.reports().is_empty(), "no reconfiguration was ever needed");
+    assert!(
+        rt.reports().is_empty(),
+        "no reconfiguration was ever needed"
+    );
 }
 
 #[test]

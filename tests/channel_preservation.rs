@@ -33,7 +33,10 @@ fn pipeline_runtime(nodes: usize, seed: u64) -> Runtime {
     let mut rt = Runtime::new(topo, seed, registry());
     let mut cfg = Configuration::new();
     cfg.component("source", ComponentDecl::new("MediaSource", 1, NodeId(0)));
-    cfg.component("coder", ComponentDecl::new("Transcoder", 1, NodeId(1 % nodes as u32)));
+    cfg.component(
+        "coder",
+        ComponentDecl::new("Transcoder", 1, NodeId(1 % nodes as u32)),
+    );
     cfg.component(
         "sink",
         ComponentDecl::new("MediaSink", 1, NodeId(2 % nodes as u32)),
@@ -67,14 +70,12 @@ impl Disruption {
                     transfer: StateTransfer::Snapshot,
                 })
             }
-            Disruption::SwapCoderWeak => {
-                ReconfigPlan::single(ReconfigAction::SwapImplementation {
-                    name: "coder".into(),
-                    type_name: "Transcoder".into(),
-                    version: 1,
-                    transfer: StateTransfer::None,
-                })
-            }
+            Disruption::SwapCoderWeak => ReconfigPlan::single(ReconfigAction::SwapImplementation {
+                name: "coder".into(),
+                type_name: "Transcoder".into(),
+                version: 1,
+                transfer: StateTransfer::None,
+            }),
             Disruption::MigrateCoder(n) => ReconfigPlan::single(ReconfigAction::Migrate {
                 name: "coder".into(),
                 to: NodeId(n % nodes),
@@ -83,13 +84,10 @@ impl Disruption {
                 name: "sink".into(),
                 to: NodeId(n % nodes),
             }),
-            Disruption::SwapConnector => {
-                ReconfigPlan::single(ReconfigAction::SwapConnector {
-                    name: "s2".into(),
-                    spec: ConnectorSpec::direct("s2")
-                        .with_aspect(ConnectorAspect::Metering),
-                })
-            }
+            Disruption::SwapConnector => ReconfigPlan::single(ReconfigAction::SwapConnector {
+                name: "s2".into(),
+                spec: ConnectorSpec::direct("s2").with_aspect(ConnectorAspect::Metering),
+            }),
         }
     }
 }
@@ -199,7 +197,8 @@ proptest! {
         // The component-level `frames` counter traveled in the snapshot;
         // runtime-level `processed` is per-instance bookkeeping and both
         // must at least keep the stream clean.
-        prop_assert_eq!(rt.observe().component("sink").unwrap().seq_anomalies, 0);
+        let snapshot = rt.observe();
+        prop_assert_eq!(snapshot.component("sink").unwrap().seq_anomalies, 0);
     }
 }
 

@@ -36,7 +36,8 @@ fn fingerprint(seed: u64) -> String {
         SimDuration::from_secs(20),
         SimRng::seed_from(seed).split("wl"),
     );
-    rt.inject("source", Message::event("init", Value::Null)).unwrap();
+    rt.inject("source", Message::event("init", Value::Null))
+        .unwrap();
     for (at, ev) in generator.generate(SimTime::from_secs(60)) {
         let op = match ev {
             aas_telecom::load::LoadEvent::SessionStart(_) => "session_start",

@@ -135,11 +135,7 @@ fn structural_change_adds_second_sink_via_broadcast() {
     let plan: ReconfigPlan = vec![
         ReconfigAction::AddComponent {
             name: "mirror".into(),
-            decl: aas_core::config::ComponentDecl::new(
-                "MediaSink",
-                1,
-                aas_sim::node::NodeId(0),
-            ),
+            decl: aas_core::config::ComponentDecl::new("MediaSink", 1, aas_sim::node::NodeId(0)),
         },
         ReconfigAction::SwapConnector {
             name: "stage2".into(),
@@ -164,7 +160,10 @@ fn structural_change_adds_second_sink_via_broadcast() {
     let sink = snap.component("sink").unwrap().processed;
     let mirror = snap.component("mirror").unwrap().processed;
     assert!(mirror > 0, "mirror received frames after the rebind");
-    assert!(sink > mirror, "original sink saw the pre-rebind traffic too");
+    assert!(
+        sink > mirror,
+        "original sink saw the pre-rebind traffic too"
+    );
     assert_eq!(snap.component("mirror").unwrap().seq_anomalies, 0);
 }
 
@@ -187,11 +186,7 @@ fn configuration_diff_drives_runtime_evolution() {
 
     let mut registry = ImplementationRegistry::new();
     register_telecom_components(&mut registry);
-    let mut rt = Runtime::new(
-        compile(&sys).unwrap().topology,
-        31,
-        registry,
-    );
+    let mut rt = Runtime::new(compile(&sys).unwrap().topology, 31, registry);
     rt.deploy(&original).unwrap();
     start_streaming(&mut rt, 1);
     rt.run_until(SimTime::from_secs(2));

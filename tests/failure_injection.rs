@@ -84,7 +84,10 @@ fn link_outage_reroutes_traffic() {
 
     let snap = rt.observe();
     let sink = snap.component("sink").unwrap();
-    assert_eq!(sink.processed, 100, "all frames arrived via the backup path");
+    assert_eq!(
+        sink.processed, 100,
+        "all frames arrived via the backup path"
+    );
     assert_eq!(sink.seq_anomalies, 0);
     // Latency during the outage was higher (the long way around).
     assert!(sink.p99_latency_ms > 15.0, "p99 {}", sink.p99_latency_ms);
@@ -162,7 +165,11 @@ fn crashed_host_component_recovers_with_node() {
     rt.run_until(SimTime::from_secs(10));
     let snap = rt.observe();
     let coder = snap.component("coder").unwrap();
-    assert!(coder.processed >= 35 && coder.processed <= 45, "lost ~2s of 20/s traffic, got {}", coder.processed);
+    assert!(
+        coder.processed >= 35 && coder.processed <= 45,
+        "lost ~2s of 20/s traffic, got {}",
+        coder.processed
+    );
     assert!(snap.node(NodeId(0)).unwrap().up);
 }
 
