@@ -1,0 +1,38 @@
+//! E12 bench target: prints the self-healing fault-storm table and
+//! micro-measures the hot self-healing primitives — a detector evaluation
+//! pass and a failover plan construction.
+
+use aas_core::detector::{DetectorConfig, FailureDetector};
+use aas_core::heal::RepairPolicy;
+use aas_sim::node::NodeId;
+use aas_sim::time::{SimDuration, SimTime};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", aas_bench::e12::run());
+
+    let mut detector = FailureDetector::new(DetectorConfig::new(
+        SimDuration::from_millis(50),
+        2.0,
+        NodeId(0),
+    ));
+    for n in 1..=16u32 {
+        detector.watch(NodeId(n), SimTime::ZERO);
+    }
+    let mut at = SimTime::ZERO;
+    c.bench_function("e12/detector_evaluate_16_nodes", |b| {
+        b.iter(|| {
+            at += SimDuration::from_millis(50);
+            black_box(detector.evaluate(at))
+        })
+    });
+
+    let snap = aas_bench::e12::run_cell_snapshot();
+    let policy = RepairPolicy::FailoverMigrate;
+    c.bench_function("e12/failover_plan_for", |b| {
+        b.iter(|| black_box(policy.plan_for(NodeId(1), &snap)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -11,6 +11,12 @@
 //! lives in the shared `aas-obs` registry — recorded lock-free by the
 //! runtime — and the monitor reads it ([`QosMonitor::poll`]) instead of
 //! recomputing its own statistics from raw message traffic.
+//!
+//! Pull mode is also how *failure detection* feeds the control plane: the
+//! runtime's heartbeat failure detector exports its per-tick maximum
+//! suspicion level into the shared `detector.phi` histogram, so an upper
+//! contract on that metric turns node-failure suspicion into the same
+//! compliance signal every other QoS dimension uses.
 
 use crate::qos::{ComplianceTracker, QosContract};
 use aas_obs::HistogramHandle;
@@ -291,6 +297,34 @@ mod tests {
         assert_eq!(m.samples(), 3);
         // quantile still reads the shared distribution, not pushed values.
         assert!(m.quantile(0.5) < 15.0);
+    }
+
+    #[test]
+    fn failure_suspicion_feeds_a_pull_mode_contract() {
+        // The runtime exports the detector's max phi per tick into the
+        // shared `detector.phi` histogram; a monitor with an upper
+        // contract on it converts suspicion into contract compliance.
+        let reg = aas_obs::MetricsRegistry::new();
+        let phi = reg.histogram("detector.phi");
+        let mut m =
+            QosMonitor::from_registry(QosContract::upper("detector.phi", 2.0), 0.5, phi.clone());
+        // Healthy cluster: heartbeats keep phi near zero.
+        for _ in 0..20 {
+            phi.observe(0.1);
+        }
+        m.poll(SimTime::from_secs(1));
+        assert_eq!(m.compliance().violation_fraction(), 0.0);
+        // A node goes silent: phi accrues past the threshold.
+        for _ in 0..20 {
+            phi.observe(4.5);
+        }
+        m.poll(SimTime::from_secs(2));
+        m.poll(SimTime::from_secs(3));
+        assert!(
+            m.compliance().violation_fraction() > 0.0,
+            "suspicion shows up as contract violation time"
+        );
+        assert!(m.quantile(0.99) > 2.0);
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub enum Lifecycle {
     Quiescing,
     /// Drained; safe to snapshot, replace, or migrate.
     Quiescent,
+    /// Killed by a host crash under fail-stop semantics; discards
+    /// deliveries until a repair plan reinstates or relocates it.
+    Failed,
     /// Removed from the configuration; kept only for accounting.
     Retired,
 }
@@ -53,6 +56,7 @@ impl fmt::Display for Lifecycle {
             Lifecycle::Active => "active",
             Lifecycle::Quiescing => "quiescing",
             Lifecycle::Quiescent => "quiescent",
+            Lifecycle::Failed => "failed",
             Lifecycle::Retired => "retired",
         };
         f.write_str(s)

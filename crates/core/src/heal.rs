@@ -1,0 +1,260 @@
+//! Self-healing repair policies: what to do once a failure is suspected.
+//!
+//! The paper's §1 motivates *geographical* and *structural* reconfiguration
+//! with fault tolerance; this module turns a failure-detector suspicion
+//! (see [`crate::detector`]) into concrete RAML intercessions. Three
+//! policies of increasing strength are provided:
+//!
+//! - [`RepairPolicy::RestartInPlace`] — *weak*: re-instantiate each
+//!   component hosted by the failed node, on the same node, with fresh
+//!   state (the supervisor restart of classic process supervision). It can
+//!   only take effect once the node returns, so availability stays bounded
+//!   by node downtime.
+//! - [`RepairPolicy::FailoverMigrate`] — *strong*: migrate every hosted
+//!   component to the coolest live node, restoring from checkpoint (the
+//!   recovery-migration machinery of experiments E5/E7). Availability is
+//!   bounded by detection latency plus migration time, not by downtime.
+//! - [`RepairPolicy::DegradeToBackup`] — *degraded service*: swap a named
+//!   connector to a pre-declared backup spec (e.g. a heavier but safer
+//!   path), trading quality for continuity.
+
+use crate::connector::ConnectorSpec;
+use crate::raml::{Intercession, SystemSnapshot};
+use crate::reconfig::{ReconfigAction, ReconfigPlan, StateTransfer};
+use aas_sim::node::NodeId;
+
+/// The repair strategy the runtime applies to suspected node failures.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum RepairPolicy {
+    /// Do nothing; failures are only observed, never repaired.
+    #[default]
+    None,
+    /// Re-instantiate the node's components in place with fresh state once
+    /// the node is reachable again (weak repair).
+    RestartInPlace,
+    /// Migrate the node's components to the coolest live node, restoring
+    /// from checkpoint (strong repair).
+    FailoverMigrate,
+    /// Swap `connector` to the `backup` spec, degrading service onto a
+    /// pre-declared fallback path.
+    DegradeToBackup {
+        /// The connector to adapt.
+        connector: String,
+        /// The spec it degrades to (boxed: connector specs are large and
+        /// the other variants are unit-like).
+        backup: Box<ConnectorSpec>,
+    },
+}
+
+impl RepairPolicy {
+    /// Short stable label (used in audit entries and experiment tables).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            RepairPolicy::None => "no-repair",
+            RepairPolicy::RestartInPlace => "restart",
+            RepairPolicy::FailoverMigrate => "failover",
+            RepairPolicy::DegradeToBackup { .. } => "degrade",
+        }
+    }
+
+    /// Whether this policy must wait for the failed node to come back
+    /// before its plan can execute.
+    #[must_use]
+    pub fn needs_node_back(&self) -> bool {
+        matches!(self, RepairPolicy::RestartInPlace)
+    }
+
+    /// Builds the repair intercessions for a failure of `failed`, given a
+    /// fresh snapshot. Returns an empty vector when there is nothing to do
+    /// (nothing hosted, no live target, policy `None`).
+    #[must_use]
+    pub fn plan_for(&self, failed: NodeId, snap: &SystemSnapshot) -> Vec<Intercession> {
+        let hosted: Vec<&crate::raml::ComponentObservation> = snap
+            .components
+            .iter()
+            .filter(|c| c.node == failed)
+            .collect();
+        match self {
+            RepairPolicy::None => Vec::new(),
+            RepairPolicy::RestartInPlace => {
+                let mut plan = ReconfigPlan::new();
+                for c in hosted {
+                    plan.push(ReconfigAction::SwapImplementation {
+                        name: c.name.clone(),
+                        type_name: c.type_name.clone(),
+                        version: c.version,
+                        transfer: StateTransfer::None,
+                    });
+                }
+                if plan.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![Intercession::Reconfigure(plan)]
+                }
+            }
+            RepairPolicy::FailoverMigrate => {
+                // The coolest *live* node other than the failed one; the
+                // failed node may still be up under a false suspicion.
+                let target = snap
+                    .nodes
+                    .iter()
+                    .filter(|n| n.up && n.id != failed)
+                    .min_by(|a, b| {
+                        a.utilization
+                            .partial_cmp(&b.utilization)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|n| n.id);
+                let Some(to) = target else {
+                    return Vec::new();
+                };
+                let mut plan = ReconfigPlan::new();
+                for c in hosted {
+                    plan.push(ReconfigAction::Migrate {
+                        name: c.name.clone(),
+                        to,
+                    });
+                }
+                if plan.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![Intercession::Reconfigure(plan)]
+                }
+            }
+            RepairPolicy::DegradeToBackup { connector, backup } => {
+                vec![Intercession::AdaptConnector {
+                    name: connector.clone(),
+                    spec: (**backup).clone(),
+                }]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Lifecycle;
+    use crate::raml::{ComponentObservation, NodeObservation};
+    use aas_sim::time::SimTime;
+    use std::collections::BTreeMap;
+
+    fn snapshot() -> SystemSnapshot {
+        let comp = |name: &str, node: u32| ComponentObservation {
+            name: name.into(),
+            type_name: "Worker".into(),
+            version: 1,
+            node: NodeId(node),
+            lifecycle: Lifecycle::Failed,
+            inflight: 0,
+            processed: 10,
+            errors: 0,
+            mean_latency_ms: 1.0,
+            p99_latency_ms: 2.0,
+            seq_anomalies: 0,
+            custom: BTreeMap::new(),
+        };
+        let node = |id: u32, up: bool, util: f64| NodeObservation {
+            id: NodeId(id),
+            up,
+            utilization: util,
+            backlog_ms: 0.0,
+            effective_capacity: 1000.0,
+            hosted: Vec::new(),
+        };
+        SystemSnapshot {
+            at: SimTime::from_secs(1),
+            components: vec![comp("a", 1), comp("b", 1), comp("c", 2)],
+            nodes: vec![node(0, true, 0.5), node(1, false, 0.0), node(2, true, 0.1)],
+            connectors: Vec::new(),
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn none_never_plans() {
+        assert!(RepairPolicy::None
+            .plan_for(NodeId(1), &snapshot())
+            .is_empty());
+    }
+
+    #[test]
+    fn restart_reinstates_every_hosted_component_in_place() {
+        let plans = RepairPolicy::RestartInPlace.plan_for(NodeId(1), &snapshot());
+        let [Intercession::Reconfigure(plan)] = plans.as_slice() else {
+            panic!("expected one plan, got {plans:?}");
+        };
+        assert_eq!(plan.len(), 2);
+        for action in plan.actions() {
+            let ReconfigAction::SwapImplementation {
+                type_name,
+                version,
+                transfer,
+                ..
+            } = action
+            else {
+                panic!("expected swap, got {action}");
+            };
+            assert_eq!(type_name, "Worker");
+            assert_eq!(*version, 1);
+            assert_eq!(*transfer, StateTransfer::None);
+        }
+    }
+
+    #[test]
+    fn failover_targets_the_coolest_live_node() {
+        let plans = RepairPolicy::FailoverMigrate.plan_for(NodeId(1), &snapshot());
+        let [Intercession::Reconfigure(plan)] = plans.as_slice() else {
+            panic!("expected one plan, got {plans:?}");
+        };
+        assert_eq!(plan.len(), 2);
+        for action in plan.actions() {
+            let ReconfigAction::Migrate { to, .. } = action else {
+                panic!("expected migrate, got {action}");
+            };
+            assert_eq!(*to, NodeId(2), "node 2 is coolest among live nodes");
+        }
+    }
+
+    #[test]
+    fn failover_excludes_the_suspect_even_if_it_looks_up() {
+        // False suspicion: node 2 is up and coolest, but it is the suspect.
+        let plans = RepairPolicy::FailoverMigrate.plan_for(NodeId(2), &snapshot());
+        let [Intercession::Reconfigure(plan)] = plans.as_slice() else {
+            panic!("expected one plan, got {plans:?}");
+        };
+        let ReconfigAction::Migrate { to, .. } = &plan.actions()[0] else {
+            panic!("expected migrate");
+        };
+        assert_eq!(*to, NodeId(0));
+    }
+
+    #[test]
+    fn empty_host_yields_no_plan() {
+        assert!(RepairPolicy::FailoverMigrate
+            .plan_for(NodeId(0), &snapshot())
+            .is_empty());
+        assert!(RepairPolicy::RestartInPlace
+            .plan_for(NodeId(0), &snapshot())
+            .is_empty());
+    }
+
+    #[test]
+    fn degrade_swaps_the_named_connector() {
+        let policy = RepairPolicy::DegradeToBackup {
+            connector: "wire".into(),
+            backup: Box::new(ConnectorSpec::direct("wire").with_base_cost(0.5)),
+        };
+        let plans = policy.plan_for(NodeId(1), &snapshot());
+        let [Intercession::AdaptConnector { name, spec }] = plans.as_slice() else {
+            panic!("expected connector adaptation, got {plans:?}");
+        };
+        assert_eq!(name, "wire");
+        assert!((spec.base_cost - 0.5).abs() < 1e-12);
+        assert_eq!(policy.label(), "degrade");
+        assert!(!policy.needs_node_back());
+        assert!(RepairPolicy::RestartInPlace.needs_node_back());
+    }
+}

@@ -23,6 +23,10 @@
 //!   yields the reconfiguration plan between them.
 //! - [`reconfig`] — plans, actions (structural / geographical /
 //!   implementation / interface), and reports with per-component blackouts.
+//! - [`detector`] — phi-accrual-style heartbeat failure detection over
+//!   virtual time (suspicion levels, configurable thresholds).
+//! - [`heal`] — repair policies turning suspicions into intercessions:
+//!   restart-in-place, failover-migrate, degrade-to-backup.
 //! - [`raml`] — introspection snapshots, behavioural constraints, trigger
 //!   rules, intercession commands.
 //! - [`runtime`] — the [`runtime::Runtime`] executing all of the above on
@@ -66,7 +70,9 @@
 pub mod component;
 pub mod config;
 pub mod connector;
+pub mod detector;
 pub mod error;
+pub mod heal;
 pub mod interface;
 pub mod lts;
 pub mod message;
@@ -77,8 +83,12 @@ pub mod runtime;
 
 pub use component::{CallCtx, Component, ComponentId, Lifecycle, StateSnapshot};
 pub use config::{BindingDecl, ComponentDecl, Configuration};
-pub use connector::{Connector, ConnectorAspect, ConnectorFactory, ConnectorSpec, RoutingPolicy};
+pub use connector::{
+    Connector, ConnectorAspect, ConnectorFactory, ConnectorSpec, RetryPolicy, RoutingPolicy,
+};
+pub use detector::{DetectorConfig, DetectorEvent, FailureDetector};
 pub use error::{ComponentError, RuntimeError, StateError};
+pub use heal::RepairPolicy;
 pub use interface::{Interface, Signature, TypeTag};
 pub use lts::{check_compatibility, Label, Lts, LtsRunner};
 pub use message::{Message, MessageId, MessageKind, Value};

@@ -32,8 +32,10 @@
 use crate::component::{CallCtx, Component, ComponentId, Effect, Lifecycle};
 use crate::config::{BindingDecl, ComponentDecl, Configuration};
 use crate::connector::{Connector, ConnectorId, ConnectorSpec};
+use crate::detector::{DetectorConfig, DetectorEvent, FailureDetector};
 use crate::error::RuntimeError;
-use crate::message::{Message, MessageId, MessageKind, SequenceTracker};
+use crate::heal::RepairPolicy;
+use crate::message::{Message, MessageId, MessageKind, SequenceTracker, Value};
 use crate::raml::{
     ComponentObservation, ConnectorObservation, Intercession, NodeObservation, Raml, SystemSnapshot,
 };
@@ -47,7 +49,7 @@ use aas_sim::network::Topology;
 use aas_sim::node::NodeId;
 use aas_sim::stats::Histogram;
 use aas_sim::time::{SimDuration, SimTime};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// The sender name used for injected (external) workload messages.
 pub const EXTERNAL: &str = "external";
@@ -56,6 +58,16 @@ pub const EXTERNAL: &str = "external";
 /// for latency metrics.
 fn ms(d: SimDuration) -> f64 {
     d.as_micros() as f64 / 1e3
+}
+
+/// What an envelope carries: application traffic or detector plumbing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EnvKind {
+    /// An ordinary application message.
+    Normal,
+    /// A failure-detector heartbeat emitted by the given node. Heartbeats
+    /// never reach a component; the runtime intercepts them at delivery.
+    Heartbeat(NodeId),
 }
 
 /// A message in transit between two component instances.
@@ -69,8 +81,10 @@ struct Envelope {
     to_port: String,
     extra_cost: f64,
     /// Connector that mediated this copy, if any.
-    #[allow(dead_code)]
     via: Option<String>,
+    /// How many times this copy has already been (re)sent.
+    attempt: u32,
+    kind: EnvKind,
 }
 
 /// Noteworthy happenings surfaced to the embedding application.
@@ -118,6 +132,15 @@ pub struct RuntimeMetrics {
     pub dropped: u64,
     /// Handler errors.
     pub handler_errors: u64,
+    /// Queued handler jobs lost when their host node crashed (a subset of
+    /// `dropped`, broken out so crashes can be accounted precisely).
+    pub dropped_on_crash: u64,
+    /// Deliveries re-sent under a connector retry policy.
+    pub retries: u64,
+    /// Failure-detection latency: crash → suspicion (milliseconds).
+    pub mttd_ms: Histogram,
+    /// Repair latency: crash → repair plan committed (milliseconds).
+    pub mttr_ms: Histogram,
 }
 
 /// Lock-free handles into the shared registry for the runtime's hot-path
@@ -129,6 +152,11 @@ struct MetricHandles {
     unrouted: Counter,
     dropped: Counter,
     handler_errors: Counter,
+    dropped_on_crash: Counter,
+    retries: Counter,
+    mttd: HistogramHandle,
+    mttr: HistogramHandle,
+    phi: HistogramHandle,
 }
 
 impl MetricHandles {
@@ -139,6 +167,11 @@ impl MetricHandles {
             unrouted: obs.metrics.counter("runtime.unrouted"),
             dropped: obs.metrics.counter("runtime.dropped"),
             handler_errors: obs.metrics.counter("runtime.handler_errors"),
+            dropped_on_crash: obs.metrics.counter("runtime.dropped_on_crash"),
+            retries: obs.metrics.counter("runtime.retries"),
+            mttd: obs.metrics.histogram("heal.mttd_ms"),
+            mttr: obs.metrics.histogram("heal.mttr_ms"),
+            phi: obs.metrics.histogram("detector.phi"),
         }
     }
 }
@@ -187,6 +220,20 @@ enum TimerPurpose {
         target: String,
         message: Box<Message>,
     },
+    /// Periodic heartbeat emission + suspicion evaluation.
+    DetectorTick,
+    /// A backed-off redelivery of a dropped envelope.
+    Retry {
+        envelope: Box<Envelope>,
+    },
+}
+
+/// The failure detector plus its heartbeat transport: one kernel channel
+/// per watched node, converging on the monitor node.
+#[derive(Debug)]
+struct DetectorRt {
+    detector: FailureDetector,
+    hb_channels: BTreeMap<NodeId, ChannelId>,
 }
 
 #[derive(Debug)]
@@ -265,6 +312,18 @@ pub struct Runtime {
     queued_plans: VecDeque<(ReconfigId, ReconfigPlan)>,
     reports: Vec<ReconfigReport>,
     raml: Option<Raml>,
+    detector: Option<DetectorRt>,
+    repair: RepairPolicy,
+    /// Under fail-stop semantics a node crash kills its hosted instances
+    /// (they become [`Lifecycle::Failed`]) instead of merely pausing them.
+    fail_stop: bool,
+    /// When each currently-down (or not-yet-repaired) node crashed; feeds
+    /// the MTTD/MTTR histograms.
+    crash_times: BTreeMap<NodeId, SimTime>,
+    /// Suspected nodes awaiting a repair plan.
+    repair_queue: BTreeSet<NodeId>,
+    /// In-flight repair plans and the node each one heals.
+    repair_pending: BTreeMap<ReconfigId, NodeId>,
     events: Vec<(SimTime, RuntimeEvent)>,
     outbox: Vec<(SimTime, Message)>,
     obs: Obs,
@@ -311,6 +370,12 @@ impl Runtime {
             queued_plans: VecDeque::new(),
             reports: Vec::new(),
             raml: None,
+            detector: None,
+            repair: RepairPolicy::None,
+            fail_stop: false,
+            crash_times: BTreeMap::new(),
+            repair_queue: BTreeSet::new(),
+            repair_pending: BTreeMap::new(),
             events: Vec::new(),
             outbox: Vec::new(),
             obs,
@@ -669,6 +734,366 @@ impl Runtime {
     }
 
     // ------------------------------------------------------------------
+    // Self-healing: failure detection and repair
+    // ------------------------------------------------------------------
+
+    /// Installs the heartbeat failure detector and starts its periodic
+    /// tick. Every node other than the monitor is watched: each tick it
+    /// emits a heartbeat over an ordinary kernel channel to the monitor
+    /// node, so crashes and partitions starve the detector naturally.
+    pub fn enable_failure_detector(&mut self, config: DetectorConfig) {
+        let now = self.kernel.now();
+        let monitor = config.monitor;
+        let interval = config.interval;
+        let mut detector = FailureDetector::new(config);
+        let mut hb_channels = BTreeMap::new();
+        for i in 0..self.kernel.topology().node_count() {
+            let node = NodeId(i as u32);
+            if node == monitor {
+                continue;
+            }
+            detector.watch(node, now);
+            hb_channels.insert(node, self.kernel.open_channel(node, monitor));
+        }
+        self.detector = Some(DetectorRt {
+            detector,
+            hb_channels,
+        });
+        let tag = self.kernel.set_timer(interval);
+        self.timers.insert(tag, TimerPurpose::DetectorTick);
+    }
+
+    /// The installed failure detector, if any.
+    #[must_use]
+    pub fn failure_detector(&self) -> Option<&FailureDetector> {
+        self.detector.as_ref().map(|d| &d.detector)
+    }
+
+    /// Sets the repair policy applied to suspected node failures.
+    pub fn set_repair_policy(&mut self, policy: RepairPolicy) {
+        self.repair = policy;
+    }
+
+    /// The repair policy in force.
+    #[must_use]
+    pub fn repair_policy(&self) -> &RepairPolicy {
+        &self.repair
+    }
+
+    /// Switches fail-stop semantics on or off (default: off). Under
+    /// fail-stop, a node crash kills its hosted component instances —
+    /// they enter [`Lifecycle::Failed`] and discard deliveries until a
+    /// repair plan reinstates or relocates them. Without it, a crash
+    /// merely pauses the node and instances resume with it.
+    pub fn set_fail_stop(&mut self, on: bool) {
+        self.fail_stop = on;
+    }
+
+    /// One detector period: emit heartbeats, re-evaluate suspicion,
+    /// export `phi`, and drive the repair queue.
+    fn on_detector_tick(&mut self, now: SimTime) {
+        let Some(mut drt) = self.detector.take() else {
+            return;
+        };
+        // Each watched node emits a heartbeat towards the monitor. A send
+        // from a down node (or across a dead route) fails in the kernel —
+        // that silence is exactly what accrues suspicion.
+        for (node, ch) in &drt.hb_channels {
+            let env = Envelope {
+                msg: Message::event("heartbeat", Value::Null),
+                to_instance: String::new(),
+                to_port: String::new(),
+                extra_cost: 0.0,
+                via: None,
+                attempt: 0,
+                kind: EnvKind::Heartbeat(*node),
+            };
+            let _ = self.kernel.send(*ch, env, 16);
+        }
+        let events = drt.detector.evaluate(now);
+        let mut max_phi: f64 = 0.0;
+        for node in drt.detector.watched() {
+            let phi = drt.detector.phi(node, now);
+            max_phi = max_phi.max(phi);
+            self.obs
+                .metrics
+                .gauge(&format!("detector.phi.{node}"))
+                .set(phi);
+        }
+        self.m.phi.observe(max_phi);
+        self.obs
+            .metrics
+            .gauge("detector.suspected")
+            .set(drt.detector.suspected().len() as f64);
+        let interval = drt.detector.config().interval;
+        self.detector = Some(drt);
+        for ev in events {
+            match ev {
+                DetectorEvent::Suspected(node, phi) => {
+                    self.obs.audit.failure_suspected(
+                        &node.to_string(),
+                        &format!("phi={phi:.2}"),
+                        now.as_micros(),
+                    );
+                    if let Some(crash_at) = self.crash_times.get(&node) {
+                        self.m.mttd.observe(ms(now.saturating_since(*crash_at)));
+                    }
+                    self.repair_queue.insert(node);
+                }
+                DetectorEvent::Restored(node) => {
+                    self.obs
+                        .audit
+                        .failure_cleared(&node.to_string(), now.as_micros());
+                }
+            }
+        }
+        self.try_repairs(now);
+        let tag = self.kernel.set_timer(interval);
+        self.timers.insert(tag, TimerPurpose::DetectorTick);
+    }
+
+    /// Plans and submits repairs for every queued suspect the policy can
+    /// currently act on. A node whose repair plan fails stays queued and
+    /// is retried on the next tick, so repair converges even when (say) a
+    /// failover target dies mid-plan.
+    fn try_repairs(&mut self, now: SimTime) {
+        if matches!(self.repair, RepairPolicy::None) {
+            self.repair_queue.clear();
+            return;
+        }
+        for node in self.repair_queue.clone() {
+            if self.repair_pending.values().any(|n| *n == node) {
+                continue; // a repair for this node is already in flight
+            }
+            if self.repair.needs_node_back() && !self.kernel.topology().node(node).is_up() {
+                continue; // restart-in-place waits for the node's return
+            }
+            let snap = self.observe();
+            let intercessions = self.repair.plan_for(node, &snap);
+            if intercessions.is_empty() {
+                self.repair_queue.remove(&node);
+                self.crash_times.remove(&node);
+                continue;
+            }
+            for cmd in intercessions {
+                match cmd {
+                    Intercession::Reconfigure(plan) => {
+                        let detail = format!("{}: {} actions", self.repair.label(), plan.len());
+                        let id = self.request_reconfig(plan);
+                        self.obs.audit.repair_planned(
+                            &id.to_string(),
+                            &node.to_string(),
+                            &detail,
+                            now.as_micros(),
+                        );
+                        // A plan with nothing to drain completes inside
+                        // `request_reconfig`; book it now, since the
+                        // `finish_reconfig` hook has already run.
+                        let sync = self
+                            .reports
+                            .iter()
+                            .rev()
+                            .find(|r| r.id == id)
+                            .map(|r| r.success);
+                        match sync {
+                            Some(true) => self.complete_repair(&id.to_string(), node, now),
+                            Some(false) => {} // stays queued; next tick re-plans
+                            None => {
+                                self.repair_pending.insert(id, node);
+                            }
+                        }
+                    }
+                    Intercession::AdaptConnector { name, spec } => {
+                        // Lightweight path: the degraded connector mediates
+                        // the very next message, so repair is immediate.
+                        self.obs.audit.repair_planned(
+                            "-",
+                            &node.to_string(),
+                            &format!("{}: adapt connector `{name}`", self.repair.label()),
+                            now.as_micros(),
+                        );
+                        let _ = self.adapt_connector(&name, spec);
+                        self.complete_repair("-", node, now);
+                    }
+                    Intercession::Notify(text) => {
+                        self.events.push((now, RuntimeEvent::Notify(text)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Books a finished repair: MTTR observation, audit entry, queue
+    /// cleanup.
+    fn complete_repair(&mut self, plan: &str, node: NodeId, now: SimTime) {
+        self.repair_queue.remove(&node);
+        let detail = match self.crash_times.remove(&node) {
+            Some(crash_at) => {
+                let mttr = ms(now.saturating_since(crash_at));
+                self.m.mttr.observe(mttr);
+                format!("mttr_ms={mttr:.3}")
+            }
+            None => "repaired".to_owned(),
+        };
+        self.obs
+            .audit
+            .repair_completed(plan, &node.to_string(), &detail, now.as_micros());
+    }
+
+    /// Topology-fault bookkeeping, independent of (and before) RAML fault
+    /// rules: crash timestamps, the dropped-on-crash accounting, fail-stop
+    /// instance kills, and repair retriggers on recovery.
+    fn on_topology_fault(&mut self, kind: FaultKind, now: SimTime) {
+        match kind {
+            FaultKind::NodeCrash(node) => {
+                self.crash_times.entry(node).or_insert(now);
+                self.cancel_jobs_on(node, now);
+                if self.fail_stop {
+                    for inst in self.instances.values_mut() {
+                        if inst.node == node && inst.lifecycle == Lifecycle::Active {
+                            inst.lifecycle = Lifecycle::Failed;
+                        }
+                    }
+                }
+            }
+            FaultKind::NodeRecover(node) => {
+                // A short outage can end before suspicion ever fires, yet
+                // fail-stop already killed the hosted instances: make sure
+                // the returning node is queued so they get repaired.
+                let needs_repair = self.fail_stop
+                    && !matches!(self.repair, RepairPolicy::None)
+                    && self
+                        .instances
+                        .values()
+                        .any(|i| i.node == node && i.lifecycle == Lifecycle::Failed);
+                if needs_repair {
+                    self.repair_queue.insert(node);
+                }
+                if self.repair_queue.contains(&node) {
+                    self.try_repairs(now);
+                }
+                // If the incident closed with nothing to repair (or no
+                // policy), stop timing it — the next crash is a new one.
+                if !self.repair_queue.contains(&node)
+                    && !self.repair_pending.values().any(|n| *n == node)
+                {
+                    self.crash_times.remove(&node);
+                }
+            }
+            FaultKind::LinkDown(_) | FaultKind::LinkUp(_) => {}
+        }
+    }
+
+    /// The dropped-on-crash fix: handler jobs queued on a crashing node
+    /// used to vanish without trace (their completion timers simply fired
+    /// into nothing). Cancel them here, count every one, and leave an
+    /// audit entry per affected instance.
+    fn cancel_jobs_on(&mut self, node: NodeId, now: SimTime) {
+        let doomed: Vec<u64> = self
+            .timers
+            .iter()
+            .filter_map(|(tag, p)| match p {
+                TimerPurpose::JobDone { instance, .. } => self
+                    .instances
+                    .get(instance)
+                    .is_some_and(|i| i.node == node)
+                    .then_some(*tag),
+                _ => None,
+            })
+            .collect();
+        let mut lost: BTreeMap<String, u64> = BTreeMap::new();
+        for tag in doomed {
+            let Some(TimerPurpose::JobDone { instance, .. }) = self.timers.remove(&tag) else {
+                continue;
+            };
+            if let Some(inst) = self.instances.get_mut(&instance) {
+                inst.inflight = inst.inflight.saturating_sub(1);
+            }
+            *lost.entry(instance).or_insert(0) += 1;
+        }
+        let mut drained = false;
+        for (instance, count) in &lost {
+            self.m.dropped.add(*count);
+            self.m.dropped_on_crash.add(*count);
+            self.obs.audit.dropped_on_crash(
+                instance,
+                &format!("{count} in-flight jobs lost in crash of {node}"),
+                now.as_micros(),
+            );
+            self.events.push((
+                now,
+                RuntimeEvent::Dropped {
+                    reason: format!(
+                        "{count} in-flight jobs on `{instance}` lost in crash of {node}"
+                    ),
+                },
+            ));
+            if let Some(inst) = self.instances.get_mut(instance) {
+                if inst.lifecycle == Lifecycle::Quiescing && inst.inflight == 0 {
+                    inst.lifecycle = Lifecycle::Quiescent;
+                    drained = true;
+                }
+            }
+        }
+        if drained {
+            self.advance_reconfig();
+        }
+    }
+
+    /// Schedules a backed-off redelivery for a dropped envelope if the
+    /// mediating connector carries a retry policy with attempts to spare.
+    fn maybe_retry(&mut self, env: Envelope, _now: SimTime) {
+        let Some(via) = env.via.as_deref() else {
+            return;
+        };
+        let Some(policy) = self.connectors.get(via).and_then(|c| c.spec().retry) else {
+            return;
+        };
+        if env.attempt + 1 >= policy.max_attempts {
+            return;
+        }
+        let delay = policy.delay_for(env.attempt);
+        let mut env = env;
+        env.attempt += 1;
+        self.m.retries.incr();
+        let tag = self.kernel.set_timer(delay);
+        self.timers.insert(
+            tag,
+            TimerPurpose::Retry {
+                envelope: Box::new(env),
+            },
+        );
+    }
+
+    /// Re-sends a retried envelope over its binding's current channel.
+    fn resend(&mut self, env: Envelope, now: SimTime) {
+        let Some(via) = env.via.clone() else {
+            return;
+        };
+        let mut channel = None;
+        for b in self.bindings.values() {
+            if b.decl.via != via || b.decl.from.0 != env.msg.from {
+                continue;
+            }
+            for ((inst, _), ch) in b.decl.to.iter().zip(&b.channels) {
+                if *inst == env.to_instance {
+                    channel = Some(*ch);
+                    break;
+                }
+            }
+        }
+        let Some(ch) = channel else {
+            return; // binding went away; the retry dies quietly
+        };
+        let size = env.msg.wire_size();
+        let backup = env.clone();
+        if !self.kernel.send(ch, env, size).is_sent() {
+            self.m.dropped.incr();
+            self.maybe_retry(backup, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Reconfiguration
     // ------------------------------------------------------------------
 
@@ -841,7 +1266,10 @@ impl Runtime {
             );
         }
         if let Some(inst) = self.instances.get_mut(name) {
-            if inst.lifecycle == Lifecycle::Active {
+            // `Failed` instances can be quiesced too — that is exactly how
+            // repair plans reach them (a crash cancelled their in-flight
+            // jobs, so they drain immediately).
+            if matches!(inst.lifecycle, Lifecycle::Active | Lifecycle::Failed) {
                 inst.lifecycle = if inst.inflight == 0 {
                     Lifecycle::Quiescent
                 } else {
@@ -1154,6 +1582,14 @@ impl Runtime {
                 .map_or_else(|| "success".to_owned(), |f| format!("failed: {f}")),
             now.as_micros(),
         );
+        // If this plan was a repair, book the outcome. On failure the node
+        // stays queued and the next detector tick re-plans, so repair
+        // keeps converging even when a target dies mid-plan.
+        if let Some(node) = self.repair_pending.remove(&exec.id) {
+            if success {
+                self.complete_repair(&exec.id.to_string(), node, now);
+            }
+        }
         self.obs.tracer.span_end(exec.span, now.as_micros());
         let report = ReconfigReport {
             id: exec.id,
@@ -1179,13 +1615,28 @@ impl Runtime {
     pub fn step(&mut self) -> Option<SimTime> {
         let (at, fired) = self.kernel.step()?;
         match fired {
-            Fired::Delivered { msg: env, .. } => self.on_delivered(env, at),
+            Fired::Delivered { msg: env, .. } => {
+                if let EnvKind::Heartbeat(node) = env.kind {
+                    if let Some(drt) = self.detector.as_mut() {
+                        drt.detector.record_heartbeat(node, at);
+                    }
+                } else {
+                    self.on_delivered(env, at);
+                }
+            }
             Fired::Timer { tag } => self.on_timer(tag, at),
             Fired::Fault(kind) => {
                 self.events.push((at, RuntimeEvent::Fault(kind)));
+                self.on_topology_fault(kind, at);
                 self.on_fault(kind);
             }
-            Fired::DroppedAtDelivery { reason, .. } => {
+            Fired::DroppedAtDelivery {
+                msg: env, reason, ..
+            } => {
+                // A lost heartbeat *is* the detection signal, not loss.
+                if matches!(env.kind, EnvKind::Heartbeat(_)) {
+                    return Some(at);
+                }
                 self.m.dropped.incr();
                 self.events.push((
                     at,
@@ -1193,6 +1644,7 @@ impl Runtime {
                         reason: reason.to_string(),
                     },
                 ));
+                self.maybe_retry(env, at);
             }
         }
         Some(at)
@@ -1222,6 +1674,17 @@ impl Runtime {
             ));
             return;
         };
+        if inst.lifecycle == Lifecycle::Failed {
+            self.m.dropped.incr();
+            self.events.push((
+                now,
+                RuntimeEvent::Dropped {
+                    reason: format!("instance `{}` failed", env.to_instance),
+                },
+            ));
+            self.maybe_retry(env, now);
+            return;
+        }
         let cost = env.extra_cost + inst.component.work_cost(&env.msg);
         let node = inst.node;
         let Some(delay) = self.kernel.run_job(node, cost) else {
@@ -1232,6 +1695,7 @@ impl Runtime {
                     reason: format!("node for `{}` down", env.to_instance),
                 },
             ));
+            self.maybe_retry(env, now);
             return;
         };
         let inst = self.instances.get_mut(&env.to_instance).expect("checked");
@@ -1269,6 +1733,8 @@ impl Runtime {
             TimerPurpose::Inject { target, message } => {
                 let _ = self.inject(&target, *message);
             }
+            TimerPurpose::DetectorTick => self.on_detector_tick(now),
+            TimerPurpose::Retry { envelope } => self.resend(*envelope, now),
         }
     }
 
@@ -1404,13 +1870,22 @@ impl Runtime {
             ));
         }
 
+        let has_retry = self
+            .connectors
+            .get(&via)
+            .and_then(|c| c.spec().retry)
+            .is_some();
         for idx in mediation.targets {
             let (to_inst, to_port) = &targets_decl[idx];
             let mut env = self.finalize(from, to_inst, to_port, msg.clone(), Some(&via));
             env.extra_cost = mediation.extra_cost;
             let size = (env.msg.wire_size() as f64 * mediation.size_factor) as u64;
+            let backup = has_retry.then(|| env.clone());
             if !self.kernel.send(channels[idx], env, size).is_sent() {
                 self.m.dropped.incr();
+                if let Some(env) = backup {
+                    self.maybe_retry(env, now);
+                }
             }
         }
 
@@ -1468,6 +1943,8 @@ impl Runtime {
             to_port: to_port.to_owned(),
             extra_cost: 0.0,
             via: via.map(str::to_owned),
+            attempt: 0,
+            kind: EnvKind::Normal,
         }
     }
 
@@ -1591,6 +2068,10 @@ impl Runtime {
             unrouted: self.m.unrouted.get(),
             dropped: self.m.dropped.get(),
             handler_errors: self.m.handler_errors.get(),
+            dropped_on_crash: self.m.dropped_on_crash.get(),
+            retries: self.m.retries.get(),
+            mttd_ms: self.m.mttd.snapshot(),
+            mttr_ms: self.m.mttr.snapshot(),
         }
     }
 
@@ -2535,5 +3016,198 @@ mod tests {
             .unwrap();
         rt.run_until(SimTime::from_secs(2));
         assert_eq!(rt.observe().component("counter").unwrap().processed, 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Self-healing: detection, repair policies, crash accounting
+    // ------------------------------------------------------------------
+
+    use crate::connector::RetryPolicy;
+    use crate::detector::DetectorConfig;
+    use crate::heal::RepairPolicy;
+    use aas_sim::fault::FaultSchedule;
+
+    fn node_outage(rt: &mut Runtime, node: u32, from_ms: u64, to_ms: u64) {
+        let mut s = FaultSchedule::new();
+        s.node_outage(
+            NodeId(node),
+            SimTime::from_millis(from_ms),
+            SimTime::from_millis(to_ms),
+        );
+        rt.inject_faults(s);
+    }
+
+    fn audit_labels(rt: &Runtime) -> Vec<&'static str> {
+        rt.obs()
+            .audit
+            .entries()
+            .iter()
+            .map(|e| e.kind.label())
+            .collect()
+    }
+
+    #[test]
+    fn detector_suspects_silence_and_clears_on_recovery() {
+        let mut rt = runtime(3);
+        rt.enable_failure_detector(DetectorConfig::new(
+            SimDuration::from_millis(50),
+            2.0,
+            NodeId(0),
+        ));
+        node_outage(&mut rt, 2, 1000, 3000);
+
+        rt.run_until(SimTime::from_millis(2000));
+        let d = rt.failure_detector().unwrap();
+        assert!(d.is_suspected(NodeId(2)), "silent node should be suspected");
+        assert!(!d.is_suspected(NodeId(1)), "healthy node stays trusted");
+
+        rt.run_until(SimTime::from_millis(5000));
+        assert!(!rt.failure_detector().unwrap().is_suspected(NodeId(2)));
+        let labels = audit_labels(&rt);
+        assert!(labels.contains(&"failure_suspected"));
+        assert!(labels.contains(&"failure_cleared"));
+    }
+
+    #[test]
+    fn fail_stop_kills_instances_and_restart_repairs_in_place() {
+        let mut rt = counter_runtime();
+        rt.add_component("victim", &ComponentDecl::new("Counter", 1, NodeId(1)))
+            .unwrap();
+        rt.set_fail_stop(true);
+        rt.set_repair_policy(RepairPolicy::RestartInPlace);
+        rt.enable_failure_detector(DetectorConfig::new(
+            SimDuration::from_millis(50),
+            2.0,
+            NodeId(0),
+        ));
+        node_outage(&mut rt, 1, 1000, 2000);
+
+        // While the node is down (and after detection), the instance is dead.
+        rt.run_until(SimTime::from_millis(1900));
+        assert_eq!(rt.lifecycle("victim"), Some(Lifecycle::Failed));
+
+        // The node returns; restart-in-place reinstates the component.
+        rt.run_until(SimTime::from_secs(4));
+        assert_eq!(rt.lifecycle("victim"), Some(Lifecycle::Active));
+        assert_eq!(
+            rt.node_of("victim"),
+            Some(NodeId(1)),
+            "restart stays in place"
+        );
+        let m = rt.metrics();
+        assert!(m.mttd_ms.count() >= 1, "detection latency was measured");
+        assert!(m.mttr_ms.count() >= 1, "repair latency was measured");
+        let labels = audit_labels(&rt);
+        assert!(labels.contains(&"repair_planned"));
+        assert!(labels.contains(&"repair_completed"));
+    }
+
+    #[test]
+    fn failover_migrates_off_the_dead_node_and_service_resumes() {
+        let mut rt = runtime(3);
+        let mut cfg = Configuration::new();
+        cfg.component("counter", ComponentDecl::new("Counter", 1, NodeId(1)));
+        rt.deploy(&cfg).unwrap();
+        rt.set_fail_stop(true);
+        rt.set_repair_policy(RepairPolicy::FailoverMigrate);
+        rt.enable_failure_detector(DetectorConfig::new(
+            SimDuration::from_millis(50),
+            2.0,
+            NodeId(0),
+        ));
+        // The node dies and never comes back within the run.
+        node_outage(&mut rt, 1, 1000, 30_000);
+        tick(&mut rt, 3);
+        for k in 1..=50u64 {
+            rt.inject_after(
+                SimDuration::from_millis(100 * k),
+                "counter",
+                Message::request("tick", Value::Null),
+            )
+            .unwrap();
+        }
+
+        rt.run_until(SimTime::from_secs(6));
+        assert_ne!(rt.node_of("counter"), Some(NodeId(1)), "evacuated");
+        assert_eq!(rt.lifecycle("counter"), Some(Lifecycle::Active));
+        assert_eq!(rt.metrics().mttr_ms.count(), 1);
+        // Failover restores from checkpoint: the pre-crash count survives
+        // and the post-repair stream keeps incrementing it.
+        assert!(last_count(&mut rt) > 3, "service resumed after failover");
+        let report = rt.reports().last().unwrap();
+        assert!(report.success, "{:?}", report.failure);
+    }
+
+    #[test]
+    fn no_repair_leaves_fail_stop_instances_dead() {
+        let mut rt = runtime(3);
+        let mut cfg = Configuration::new();
+        cfg.component("counter", ComponentDecl::new("Counter", 1, NodeId(1)));
+        rt.deploy(&cfg).unwrap();
+        rt.set_fail_stop(true);
+        rt.enable_failure_detector(DetectorConfig::new(
+            SimDuration::from_millis(50),
+            2.0,
+            NodeId(0),
+        ));
+        node_outage(&mut rt, 1, 1000, 2000);
+        rt.run_until(SimTime::from_secs(5));
+        assert_eq!(
+            rt.lifecycle("counter"),
+            Some(Lifecycle::Failed),
+            "without a repair policy the crash is permanent"
+        );
+        assert!(rt.metrics().mttr_ms.count() == 0);
+    }
+
+    #[test]
+    fn queued_jobs_lost_in_a_crash_are_counted_and_audited() {
+        let mut rt = counter_runtime();
+        // Five jobs of 1ms each queue on node 0; the crash lands mid-queue.
+        tick(&mut rt, 5);
+        node_outage(&mut rt, 0, 2, 500);
+        rt.run_until(SimTime::from_secs(1));
+
+        let m = rt.metrics();
+        assert!(m.dropped_on_crash >= 1, "lost jobs are accounted");
+        assert!(m.dropped >= m.dropped_on_crash, "subset of total drops");
+        assert!(audit_labels(&rt).contains(&"dropped_on_crash"));
+        let processed = rt.observe().component("counter").unwrap().processed;
+        assert!(
+            processed + m.dropped_on_crash >= 5,
+            "every queued job either completed or was counted as lost \
+             (processed={processed}, lost={})",
+            m.dropped_on_crash
+        );
+    }
+
+    #[test]
+    fn connector_retry_redelivers_after_transient_outage() {
+        let mut rt = runtime(2);
+        let mut cfg = Configuration::new();
+        cfg.component("fwd", ComponentDecl::new("Forwarder", 1, NodeId(0)));
+        cfg.component("counter", ComponentDecl::new("Counter", 1, NodeId(1)));
+        cfg.connector(
+            ConnectorSpec::direct("wire")
+                .with_retry(RetryPolicy::new(6, SimDuration::from_millis(50))),
+        );
+        cfg.bind(BindingDecl::new("fwd", "out", "wire", "counter", "in"));
+        rt.deploy(&cfg).unwrap();
+        node_outage(&mut rt, 1, 100, 400);
+        rt.inject_after(
+            SimDuration::from_millis(200),
+            "fwd",
+            Message::event("tick", Value::Null),
+        )
+        .unwrap();
+
+        rt.run_until(SimTime::from_secs(2));
+        let m = rt.metrics();
+        assert!(m.retries >= 1, "the drop triggered backed-off retries");
+        assert_eq!(
+            rt.observe().component("counter").unwrap().processed,
+            1,
+            "the message eventually got through"
+        );
     }
 }

@@ -24,6 +24,16 @@ pub enum AuditKind {
     ChannelBlocked,
     /// A blocked channel was released.
     ChannelReleased,
+    /// A failure detector began suspecting a node.
+    FailureSuspected,
+    /// A previously suspected node was seen alive again.
+    FailureCleared,
+    /// A repair policy chose a plan in response to a suspected failure.
+    RepairPlanned,
+    /// A repair plan completed and service was restored.
+    RepairCompleted,
+    /// Messages queued on a node at crash time were discarded.
+    DroppedOnCrash,
 }
 
 impl AuditKind {
@@ -37,6 +47,11 @@ impl AuditKind {
             AuditKind::RolledBack => "rolled_back",
             AuditKind::ChannelBlocked => "channel_blocked",
             AuditKind::ChannelReleased => "channel_released",
+            AuditKind::FailureSuspected => "failure_suspected",
+            AuditKind::FailureCleared => "failure_cleared",
+            AuditKind::RepairPlanned => "repair_planned",
+            AuditKind::RepairCompleted => "repair_completed",
+            AuditKind::DroppedOnCrash => "dropped_on_crash",
         }
     }
 }
@@ -130,6 +145,35 @@ impl AuditLog {
         self.append(at_us, AuditKind::ChannelReleased, plan, channel, "");
     }
 
+    /// Records that the failure detector began suspecting `subject` (a
+    /// node); `detail` typically carries the phi value crossed.
+    pub fn failure_suspected(&self, subject: &str, detail: &str, at_us: u64) {
+        self.append(at_us, AuditKind::FailureSuspected, "", subject, detail);
+    }
+
+    /// Records that a previously suspected `subject` was seen alive again.
+    pub fn failure_cleared(&self, subject: &str, at_us: u64) {
+        self.append(at_us, AuditKind::FailureCleared, "", subject, "");
+    }
+
+    /// Records that a repair policy submitted `plan` for `subject` (the
+    /// failed node); `detail` names the policy and actions.
+    pub fn repair_planned(&self, plan: &str, subject: &str, detail: &str, at_us: u64) {
+        self.append(at_us, AuditKind::RepairPlanned, plan, subject, detail);
+    }
+
+    /// Records that repair `plan` for `subject` completed; `detail`
+    /// typically carries the measured time-to-repair.
+    pub fn repair_completed(&self, plan: &str, subject: &str, detail: &str, at_us: u64) {
+        self.append(at_us, AuditKind::RepairCompleted, plan, subject, detail);
+    }
+
+    /// Records messages discarded because their host node crashed with
+    /// them still queued; `detail` carries the count.
+    pub fn dropped_on_crash(&self, subject: &str, detail: &str, at_us: u64) {
+        self.append(at_us, AuditKind::DroppedOnCrash, "", subject, detail);
+    }
+
     /// Number of entries.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -206,6 +250,24 @@ mod tests {
             log.of_kind(AuditKind::RolledBack)[0].outcome,
             "constraint violated"
         );
+    }
+
+    #[test]
+    fn self_healing_kinds_round_trip() {
+        let log = AuditLog::new();
+        log.failure_suspected("node1", "phi=3.2", 10);
+        log.repair_planned("7", "node1", "failover-migrate: 1 actions", 20);
+        log.repair_completed("7", "node1", "mttr_ms=412", 30);
+        log.failure_cleared("node1", 40);
+        log.dropped_on_crash("coder", "2 queued jobs", 50);
+        assert_eq!(log.of_kind(AuditKind::FailureSuspected).len(), 1);
+        assert_eq!(log.of_kind(AuditKind::RepairPlanned)[0].plan, "7");
+        assert_eq!(
+            log.of_kind(AuditKind::RepairCompleted)[0].outcome,
+            "mttr_ms=412"
+        );
+        assert_eq!(AuditKind::DroppedOnCrash.label(), "dropped_on_crash");
+        assert_eq!(log.len(), 5);
     }
 
     #[test]

@@ -71,10 +71,13 @@ pub enum Fired<M> {
     /// already been updated when this is yielded.
     Fault(FaultKind),
     /// A message was dropped at delivery time (destination down or channel
-    /// closed). Yielded so protocols can count losses.
+    /// closed). The payload is handed back so higher layers can account for
+    /// the loss precisely — or retry the send under their own policy.
     DroppedAtDelivery {
         /// The channel the message was traveling on.
         channel: ChannelId,
+        /// The payload that failed to arrive.
+        msg: M,
         /// Why it was dropped.
         reason: DropReason,
     },
@@ -390,6 +393,7 @@ impl<M> Kernel<M> {
                             at,
                             Fired::DroppedAtDelivery {
                                 channel,
+                                msg,
                                 reason: DropReason::ChannelClosed,
                             },
                         ));
@@ -412,6 +416,7 @@ impl<M> Kernel<M> {
                             at,
                             Fired::DroppedAtDelivery {
                                 channel,
+                                msg,
                                 reason: DropReason::DestinationDown,
                             },
                         ));

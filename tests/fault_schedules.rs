@@ -1,0 +1,561 @@
+//! Randomized fault-schedule property harness for the self-healing stack.
+//!
+//! Proptest generates interleaved schedules of node outages, link flaps and
+//! user reconfigurations against a split topology: a *safe* pipeline pinned
+//! to nodes that are never faulted, and a *chaos* service living on nodes a
+//! fault storm keeps tearing down. Failure detection, repair policies and
+//! retryable connectors run throughout. The invariants are always the same:
+//!
+//! 1. surviving paths lose and duplicate nothing, ever;
+//! 2. repair converges to a valid configuration once the storm ends;
+//! 3. the audit log reconciles — gap-free, every plan finished exactly
+//!    once, every block released, every suspicion cleared, every message
+//!    lost in a crash accounted;
+//! 4. crash losses land in the dropped-on-crash counter with an audit
+//!    entry stamped at the crash instant.
+//!
+//! The default tier runs 4 × 64 = 256 random schedules. The deep tier
+//! reruns every property at 10× the case count from fresh seeds:
+//! `cargo test --release --test fault_schedules -- --ignored`.
+
+use aas_core::component::Lifecycle;
+use aas_core::config::{BindingDecl, ComponentDecl, Configuration};
+use aas_core::connector::{ConnectorAspect, ConnectorSpec, RetryPolicy};
+use aas_core::detector::DetectorConfig;
+use aas_core::heal::RepairPolicy;
+use aas_core::message::{Message, Value};
+use aas_core::reconfig::{ReconfigAction, ReconfigPlan, StateTransfer};
+use aas_core::registry::ImplementationRegistry;
+use aas_core::runtime::Runtime;
+use aas_obs::AuditKind;
+use aas_sim::fault::FaultSchedule;
+use aas_sim::link::LinkId;
+use aas_sim::network::Topology;
+use aas_sim::node::NodeId;
+use aas_sim::time::{SimDuration, SimTime};
+use aas_telecom::services::register_telecom_components;
+use proptest::prelude::*;
+
+/// Nodes 0 and 1 are the safe island (node 0 also hosts the detector's
+/// monitor); nodes 2–4 are fault-storm territory.
+const NODES: usize = 5;
+const MONITOR: NodeId = NodeId(0);
+const CHAOS: [u32; 3] = [2, 3, 4];
+/// Traffic and faults all land before this instant (ms).
+const ACTIVE_MS: u64 = 16_000;
+/// Long grace period: every plan drains, every suspicion clears.
+const END: SimTime = SimTime::from_secs(40);
+
+fn registry() -> ImplementationRegistry {
+    let mut r = ImplementationRegistry::new();
+    register_telecom_components(&mut r);
+    r
+}
+
+/// Safe pipeline `relay → safesink` on nodes {0,1}; chaos pipeline
+/// `svc → csink` starting on nodes {2,3} with a retrying connector.
+fn storm_runtime(seed: u64, policy: RepairPolicy) -> (Runtime, Vec<LinkId>) {
+    let topo = Topology::clique(NODES, 2000.0, SimDuration::from_millis(2), 1e7);
+    let chaos_links: Vec<LinkId> = topo
+        .links()
+        .filter(|l| l.spec().a.0 >= CHAOS[0] || l.spec().b.0 >= CHAOS[0])
+        .map(|l| l.id())
+        .collect();
+    let mut rt = Runtime::new(topo, seed, registry());
+    let mut cfg = Configuration::new();
+    cfg.component("relay", ComponentDecl::new("Transcoder", 1, NodeId(0)));
+    cfg.component("safesink", ComponentDecl::new("MediaSink", 1, NodeId(1)));
+    cfg.component("svc", ComponentDecl::new("Transcoder", 1, NodeId(2)));
+    cfg.component("csink", ComponentDecl::new("MediaSink", 1, NodeId(3)));
+    cfg.connector(ConnectorSpec::direct("s_safe").with_aspect(ConnectorAspect::SequenceCheck));
+    cfg.connector(
+        ConnectorSpec::direct("c_wire")
+            .with_retry(RetryPolicy::new(3, SimDuration::from_millis(40))),
+    );
+    cfg.bind(BindingDecl::new("relay", "out", "s_safe", "safesink", "in"));
+    cfg.bind(BindingDecl::new("svc", "out", "c_wire", "csink", "in"));
+    rt.deploy(&cfg).expect("deploy");
+    rt.set_fail_stop(true);
+    rt.set_repair_policy(policy);
+    rt.enable_failure_detector(DetectorConfig::new(
+        SimDuration::from_millis(50),
+        2.0,
+        MONITOR,
+    ));
+    (rt, chaos_links)
+}
+
+fn frame(cost: f64) -> Message {
+    Message::event(
+        "frame",
+        Value::map([
+            ("bytes", Value::Int(400)),
+            ("cost", Value::Float(cost)),
+            ("quality", Value::Float(1.0)),
+        ]),
+    )
+}
+
+/// One randomized fault against the chaos side of the topology.
+#[derive(Debug, Clone)]
+enum FaultEvent {
+    /// Crash one of the chaos nodes for `dur_ms`.
+    NodeOutage {
+        victim: u32,
+        at_ms: u64,
+        dur_ms: u64,
+    },
+    /// Flap one of the links with a chaos endpoint (this includes the
+    /// monitor↔chaos links, so heartbeat starvation and false suspicions
+    /// are part of the generated space).
+    LinkFlap {
+        pick: usize,
+        at_ms: u64,
+        dur_ms: u64,
+    },
+}
+
+fn fault_strategy() -> impl Strategy<Value = FaultEvent> {
+    prop_oneof![
+        (0u32..3, 500u64..12_000, 500u64..3_000).prop_map(|(victim, at_ms, dur_ms)| {
+            FaultEvent::NodeOutage {
+                victim,
+                at_ms,
+                dur_ms,
+            }
+        }),
+        (0usize..16, 500u64..12_000, 100u64..1_500).prop_map(|(pick, at_ms, dur_ms)| {
+            FaultEvent::LinkFlap {
+                pick,
+                at_ms,
+                dur_ms,
+            }
+        }),
+    ]
+}
+
+fn schedule_of(events: &[FaultEvent], chaos_links: &[LinkId]) -> FaultSchedule {
+    let mut s = FaultSchedule::new();
+    for ev in events {
+        match *ev {
+            FaultEvent::NodeOutage {
+                victim,
+                at_ms,
+                dur_ms,
+            } => {
+                s.node_outage(
+                    NodeId(CHAOS[victim as usize % CHAOS.len()]),
+                    SimTime::from_millis(at_ms),
+                    SimTime::from_millis(at_ms + dur_ms),
+                );
+            }
+            FaultEvent::LinkFlap {
+                pick,
+                at_ms,
+                dur_ms,
+            } => {
+                s.link_outage(
+                    chaos_links[pick % chaos_links.len()],
+                    SimTime::from_millis(at_ms),
+                    SimTime::from_millis(at_ms + dur_ms),
+                );
+            }
+        }
+    }
+    s
+}
+
+/// One randomized *user* reconfiguration, confined to the safe island so
+/// it interleaves with (but never hides behind) the fault storm.
+#[derive(Debug, Clone)]
+enum Move {
+    Relay(u32),
+    Sink(u32),
+    SwapRelayWeak,
+    SwapRelayStrong,
+}
+
+impl Move {
+    fn plan(&self) -> ReconfigPlan {
+        match self {
+            Move::Relay(n) => ReconfigPlan::single(ReconfigAction::Migrate {
+                name: "relay".into(),
+                to: NodeId(n % 2),
+            }),
+            Move::Sink(n) => ReconfigPlan::single(ReconfigAction::Migrate {
+                name: "safesink".into(),
+                to: NodeId(n % 2),
+            }),
+            Move::SwapRelayWeak => ReconfigPlan::single(ReconfigAction::SwapImplementation {
+                name: "relay".into(),
+                type_name: "Transcoder".into(),
+                version: 1,
+                transfer: StateTransfer::None,
+            }),
+            Move::SwapRelayStrong => ReconfigPlan::single(ReconfigAction::SwapImplementation {
+                name: "relay".into(),
+                type_name: "Transcoder".into(),
+                version: 1,
+                transfer: StateTransfer::Snapshot,
+            }),
+        }
+    }
+}
+
+fn move_strategy() -> impl Strategy<Value = Move> {
+    prop_oneof![
+        (0u32..2).prop_map(Move::Relay),
+        (0u32..2).prop_map(Move::Sink),
+        Just(Move::SwapRelayWeak),
+        Just(Move::SwapRelayStrong),
+    ]
+}
+
+/// Injects traffic + faults, replays the user moves at their instants and
+/// runs the universe to quiet. Returns (safe frames injected, ids of the
+/// user-submitted plans as strings).
+fn drive(
+    rt: &mut Runtime,
+    chaos_links: &[LinkId],
+    faults: &[FaultEvent],
+    moves: &[(u64, Move)],
+    safe_gap_ms: u64,
+) -> (u64, Vec<String>) {
+    rt.inject_faults(schedule_of(faults, chaos_links));
+    let mut expected = 0u64;
+    let mut t = SimDuration::ZERO;
+    while SimTime::ZERO + t < SimTime::from_millis(ACTIVE_MS) {
+        rt.inject_after(t, "relay", frame(0.05)).expect("inject");
+        expected += 1;
+        t += SimDuration::from_millis(safe_gap_ms);
+    }
+    let mut t = SimDuration::ZERO;
+    while SimTime::ZERO + t < SimTime::from_millis(ACTIVE_MS) {
+        rt.inject_after(t, "svc", frame(2.0)).expect("inject");
+        t += SimDuration::from_millis(25);
+    }
+    let mut schedule: Vec<(u64, Move)> = moves.to_vec();
+    schedule.sort_by_key(|(at, _)| *at);
+    let mut ids = Vec::new();
+    for (at_ms, m) in schedule {
+        rt.run_until(SimTime::from_millis(at_ms));
+        ids.push(rt.request_reconfig(m.plan()).to_string());
+    }
+    rt.run_until(END);
+    (expected, ids)
+}
+
+// ---------------------------------------------------------------------
+// Property bodies (shared by the fast and the 10× deep tier)
+// ---------------------------------------------------------------------
+
+/// Invariant 1: the safe pipeline delivers every frame exactly once, in
+/// order, no matter what the storm and the user do to the rest.
+fn surviving_path_body(
+    seed: u64,
+    safe_gap_ms: u64,
+    faults: Vec<FaultEvent>,
+    moves: Vec<(u64, Move)>,
+) -> Result<(), TestCaseError> {
+    let (mut rt, links) = storm_runtime(seed, RepairPolicy::FailoverMigrate);
+    let (expected, ids) = drive(&mut rt, &links, &faults, &moves, safe_gap_ms);
+    let snap = rt.observe();
+    let relay = snap.component("relay").expect("relay");
+    let sink = snap.component("safesink").expect("safesink");
+    prop_assert_eq!(relay.seq_anomalies, 0, "relay inbox saw gap/dup");
+    prop_assert_eq!(sink.seq_anomalies, 0, "safe sink saw gap/dup");
+    prop_assert_eq!(relay.processed, expected, "every frame reached the relay");
+    prop_assert_eq!(
+        sink.processed,
+        expected,
+        "every frame reached the safe sink"
+    );
+    // The user's own reconfigurations all concluded successfully even
+    // while repairs were interleaving with them.
+    for id in &ids {
+        let report = rt.reports().iter().find(|r| r.id.to_string() == *id);
+        prop_assert!(report.is_some(), "user plan {} never finished", id);
+        prop_assert!(
+            report.expect("checked").success,
+            "user plan {} failed: {:?}",
+            id,
+            report.expect("checked").failure
+        );
+    }
+    prop_assert!(!rt.reconfig_in_progress());
+    Ok(())
+}
+
+/// Invariant 2: once the storm ends, repair has converged — every
+/// component Active on a live node, no plan in flight, no one suspected.
+fn convergence_body(
+    seed: u64,
+    restart: bool,
+    faults: Vec<FaultEvent>,
+) -> Result<(), TestCaseError> {
+    let policy = if restart {
+        RepairPolicy::RestartInPlace
+    } else {
+        RepairPolicy::FailoverMigrate
+    };
+    let (mut rt, links) = storm_runtime(seed, policy);
+    drive(&mut rt, &links, &faults, &[], 20);
+    for name in ["relay", "safesink", "svc", "csink"] {
+        prop_assert_eq!(
+            rt.lifecycle(name),
+            Some(Lifecycle::Active),
+            "{} not repaired to Active",
+            name
+        );
+        let node = rt.node_of(name).expect("hosted somewhere");
+        prop_assert!(
+            rt.topology().node(node).is_up(),
+            "{} converged onto dead {}",
+            name,
+            node
+        );
+    }
+    prop_assert!(!rt.reconfig_in_progress(), "a plan never drained");
+    let suspected = rt.failure_detector().expect("detector on").suspected();
+    prop_assert!(suspected.is_empty(), "still suspected: {:?}", suspected);
+    Ok(())
+}
+
+/// Invariant 3: the audit log reconciles with itself and with the
+/// metrics, whatever happened.
+fn audit_body(
+    seed: u64,
+    faults: Vec<FaultEvent>,
+    moves: Vec<(u64, Move)>,
+) -> Result<(), TestCaseError> {
+    let (mut rt, links) = storm_runtime(seed, RepairPolicy::FailoverMigrate);
+    drive(&mut rt, &links, &faults, &moves, 15);
+    let entries = rt.obs().audit.entries();
+    for (i, e) in entries.iter().enumerate() {
+        prop_assert_eq!(e.seq, i as u64, "audit seq has a gap at {}", i);
+    }
+    let ids_of = |kind: AuditKind| {
+        let mut v: Vec<String> = entries
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.plan.clone())
+            .collect();
+        v.sort();
+        v
+    };
+    prop_assert_eq!(
+        ids_of(AuditKind::PlanSubmitted),
+        ids_of(AuditKind::PlanFinished),
+        "every submitted plan finishes exactly once"
+    );
+    let count_of = |kind: AuditKind| entries.iter().filter(|e| e.kind == kind).count();
+    prop_assert_eq!(
+        count_of(AuditKind::ChannelBlocked),
+        count_of(AuditKind::ChannelReleased),
+        "a blocked channel was never released"
+    );
+    prop_assert_eq!(
+        count_of(AuditKind::FailureSuspected),
+        count_of(AuditKind::FailureCleared),
+        "a suspicion was never cleared after the storm"
+    );
+    // Completed repairs refer to plans that were actually planned.
+    let planned: Vec<String> = entries
+        .iter()
+        .filter(|e| e.kind == AuditKind::RepairPlanned)
+        .map(|e| e.plan.clone())
+        .collect();
+    for e in entries
+        .iter()
+        .filter(|e| e.kind == AuditKind::RepairCompleted)
+    {
+        prop_assert!(
+            planned.contains(&e.plan),
+            "repair {} completed without being planned",
+            e.plan
+        );
+    }
+    // The dropped-on-crash counter equals the sum the audit trail admits.
+    let audited: u64 = entries
+        .iter()
+        .filter(|e| e.kind == AuditKind::DroppedOnCrash)
+        .map(|e| {
+            e.outcome
+                .split_whitespace()
+                .next()
+                .and_then(|w| w.parse::<u64>().ok())
+                .expect("dropped_on_crash detail starts with a count")
+        })
+        .sum();
+    prop_assert_eq!(
+        rt.metrics().dropped_on_crash,
+        audited,
+        "counter and audit trail disagree on crash losses"
+    );
+    Ok(())
+}
+
+/// Invariant 4 (the fixed bug): jobs caught in flight by a crash are
+/// counted and audited at the crash instant — they no longer vanish.
+fn crash_loss_body(seed: u64, crash_at_ms: u64) -> Result<(), TestCaseError> {
+    let (mut rt, _) = storm_runtime(seed, RepairPolicy::None);
+    // Saturating load: 15 ms jobs arriving every 10 ms guarantee the
+    // crash catches work in flight.
+    let mut t = SimDuration::ZERO;
+    while SimTime::ZERO + t < SimTime::from_millis(10_000) {
+        rt.inject_after(t, "svc", frame(30.0)).expect("inject");
+        t += SimDuration::from_millis(10);
+    }
+    let mut storm = FaultSchedule::new();
+    storm.node_outage(
+        NodeId(2),
+        SimTime::from_millis(crash_at_ms),
+        SimTime::from_millis(crash_at_ms + 1_000),
+    );
+    rt.inject_faults(storm);
+    rt.run_until(SimTime::from_secs(20));
+    let m = rt.metrics();
+    prop_assert!(m.dropped_on_crash > 0, "crash caught nothing in flight");
+    let entries = rt.obs().audit.entries();
+    let drops: Vec<_> = entries
+        .iter()
+        .filter(|e| e.kind == AuditKind::DroppedOnCrash)
+        .collect();
+    prop_assert!(!drops.is_empty(), "loss happened without an audit entry");
+    let mut audited = 0u64;
+    for e in &drops {
+        prop_assert_eq!(&e.subject, "svc", "loss attributed to the wrong instance");
+        prop_assert_eq!(
+            e.at_us,
+            crash_at_ms * 1_000,
+            "audit entry not stamped at the crash instant"
+        );
+        audited += e
+            .outcome
+            .split_whitespace()
+            .next()
+            .and_then(|w| w.parse::<u64>().ok())
+            .expect("detail starts with the count");
+    }
+    prop_assert_eq!(m.dropped_on_crash, audited);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Fast tier: 4 × 64 = 256 random schedules on every `cargo test`.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn no_loss_no_dup_on_surviving_paths(
+        seed in 0u64..10_000,
+        safe_gap_ms in 8u64..40,
+        faults in prop::collection::vec(fault_strategy(), 1..6),
+        moves in prop::collection::vec((1_000u64..ACTIVE_MS, move_strategy()), 0..4),
+    ) {
+        surviving_path_body(seed, safe_gap_ms, faults, moves)?;
+    }
+
+    #[test]
+    fn repair_converges_to_a_valid_configuration(
+        seed in 0u64..10_000,
+        restart in proptest::bool::ANY,
+        faults in prop::collection::vec(fault_strategy(), 1..7),
+    ) {
+        convergence_body(seed, restart, faults)?;
+    }
+
+    #[test]
+    fn audit_log_reconciles(
+        seed in 0u64..10_000,
+        faults in prop::collection::vec(fault_strategy(), 1..7),
+        moves in prop::collection::vec((1_000u64..ACTIVE_MS, move_strategy()), 0..3),
+    ) {
+        audit_body(seed, faults, moves)?;
+    }
+
+    #[test]
+    fn crash_losses_are_counted_and_audited(
+        seed in 0u64..10_000,
+        crash_at_ms in 2_000u64..8_000,
+    ) {
+        crash_loss_body(seed, crash_at_ms)?;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deep tier: the same properties at 10× the case count, fresh seeds
+// (the shim derives its RNG from the test name). Run with `-- --ignored`.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 640, .. ProptestConfig::default() })]
+
+    #[test]
+    #[ignore = "deep tier: run with -- --ignored (CI nightly job)"]
+    fn deep_no_loss_no_dup_on_surviving_paths(
+        seed in 0u64..1_000_000,
+        safe_gap_ms in 8u64..40,
+        faults in prop::collection::vec(fault_strategy(), 1..6),
+        moves in prop::collection::vec((1_000u64..ACTIVE_MS, move_strategy()), 0..4),
+    ) {
+        surviving_path_body(seed, safe_gap_ms, faults, moves)?;
+    }
+
+    #[test]
+    #[ignore = "deep tier: run with -- --ignored (CI nightly job)"]
+    fn deep_repair_converges_to_a_valid_configuration(
+        seed in 0u64..1_000_000,
+        restart in proptest::bool::ANY,
+        faults in prop::collection::vec(fault_strategy(), 1..7),
+    ) {
+        convergence_body(seed, restart, faults)?;
+    }
+
+    #[test]
+    #[ignore = "deep tier: run with -- --ignored (CI nightly job)"]
+    fn deep_audit_log_reconciles(
+        seed in 0u64..1_000_000,
+        faults in prop::collection::vec(fault_strategy(), 1..7),
+        moves in prop::collection::vec((1_000u64..ACTIVE_MS, move_strategy()), 0..3),
+    ) {
+        audit_body(seed, faults, moves)?;
+    }
+
+    #[test]
+    #[ignore = "deep tier: run with -- --ignored (CI nightly job)"]
+    fn deep_crash_losses_are_counted_and_audited(
+        seed in 0u64..1_000_000,
+        crash_at_ms in 2_000u64..8_000,
+    ) {
+        crash_loss_body(seed, crash_at_ms)?;
+    }
+}
+
+/// Deterministic spot-check kept outside proptest for fast failure
+/// localization: one crash, failover repair, full detect→plan→repair
+/// audit chain.
+#[test]
+fn single_crash_failover_leaves_a_full_audit_chain() {
+    let (mut rt, links) = storm_runtime(7, RepairPolicy::FailoverMigrate);
+    let faults = [FaultEvent::NodeOutage {
+        victim: 0,
+        at_ms: 2_000,
+        dur_ms: 2_000,
+    }];
+    drive(&mut rt, &links, &faults, &[], 20);
+    let entries = rt.obs().audit.entries();
+    let has = |kind: AuditKind| entries.iter().any(|e| e.kind == kind);
+    assert!(has(AuditKind::FailureSuspected));
+    assert!(has(AuditKind::RepairPlanned));
+    assert!(has(AuditKind::RepairCompleted));
+    assert!(has(AuditKind::FailureCleared));
+    assert_eq!(rt.lifecycle("svc"), Some(Lifecycle::Active));
+    assert_ne!(
+        rt.node_of("svc"),
+        Some(NodeId(2)),
+        "svc failed over elsewhere"
+    );
+}
