@@ -1,0 +1,36 @@
+//! E13 bench target: prints the rollback-cost table and micro-measures
+//! the transactional primitives — graph fingerprinting (the consistency
+//! witness) and compensating-inverse derivation.
+
+use aas_core::config::ComponentDecl;
+use aas_core::reconfig::ReconfigAction;
+use aas_sim::node::NodeId;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", aas_bench::e13::run());
+
+    let actions = vec![
+        ReconfigAction::AddComponent {
+            name: "x".into(),
+            decl: ComponentDecl::new("Worker", 1, NodeId(0)),
+        },
+        ReconfigAction::Migrate {
+            name: "x".into(),
+            to: NodeId(2),
+        },
+        ReconfigAction::Bind(aas_core::config::BindingDecl::new(
+            "x", "out", "w", "y", "in",
+        )),
+    ];
+    c.bench_function("e13/derive_inverse_3_actions", |b| {
+        b.iter(|| {
+            for a in &actions {
+                black_box(a.derive_inverse(Some(NodeId(0))));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -17,6 +17,13 @@
 //! - [`RepairPolicy::DegradeToBackup`] — *degraded service*: swap a named
 //!   connector to a pre-declared backup spec (e.g. a heavier but safer
 //!   path), trading quality for continuity.
+//!
+//! Repair plans are ordinary reconfiguration plans and flow through the
+//! same transactional engine as user-submitted ones (validate → quiesce →
+//! journaled apply → commit): a repair that validation rejects or that
+//! rolls back mid-flight leaves the configuration graph untouched, the
+//! node stays in the repair queue, and the driver simply re-plans it on
+//! the next detector tick until the configuration converges.
 
 use crate::connector::ConnectorSpec;
 use crate::raml::{Intercession, SystemSnapshot};

@@ -1,0 +1,102 @@
+use super::*;
+
+impl Runtime {
+    // ------------------------------------------------------------------
+    // Self-healing: failure detection and repair
+    // ------------------------------------------------------------------
+
+    /// Installs the heartbeat failure detector and starts its periodic
+    /// tick. Every node other than the monitor is watched: each tick it
+    /// emits a heartbeat over an ordinary kernel channel to the monitor
+    /// node, so crashes and partitions starve the detector naturally.
+    pub fn enable_failure_detector(&mut self, config: DetectorConfig) {
+        let now = self.kernel.now();
+        let monitor = config.monitor;
+        let interval = config.interval;
+        let mut detector = FailureDetector::new(config);
+        let mut hb_channels = BTreeMap::new();
+        for i in 0..self.kernel.topology().node_count() {
+            let node = NodeId(i as u32);
+            if node == monitor {
+                continue;
+            }
+            detector.watch(node, now);
+            hb_channels.insert(node, self.kernel.open_channel(node, monitor));
+        }
+        self.detector = Some(DetectorRt {
+            detector,
+            hb_channels,
+        });
+        let tag = self.kernel.set_timer(interval);
+        self.timers.insert(tag, TimerPurpose::DetectorTick);
+    }
+
+    /// The installed failure detector, if any.
+    #[must_use]
+    pub fn failure_detector(&self) -> Option<&FailureDetector> {
+        self.detector.as_ref().map(|d| &d.detector)
+    }
+
+    /// One detector period: emit heartbeats, re-evaluate suspicion,
+    /// export `phi`, and drive the repair queue.
+    pub(super) fn on_detector_tick(&mut self, now: SimTime) {
+        let Some(mut drt) = self.detector.take() else {
+            return;
+        };
+        // Each watched node emits a heartbeat towards the monitor. A send
+        // from a down node (or across a dead route) fails in the kernel —
+        // that silence is exactly what accrues suspicion.
+        for (node, ch) in &drt.hb_channels {
+            let env = Envelope {
+                msg: Message::event("heartbeat", Value::Null),
+                to_instance: String::new(),
+                to_port: String::new(),
+                extra_cost: 0.0,
+                via: None,
+                attempt: 0,
+                kind: EnvKind::Heartbeat(*node),
+            };
+            let _ = self.kernel.send(*ch, env, 16);
+        }
+        let events = drt.detector.evaluate(now);
+        let mut max_phi: f64 = 0.0;
+        for node in drt.detector.watched() {
+            let phi = drt.detector.phi(node, now);
+            max_phi = max_phi.max(phi);
+            self.obs
+                .metrics
+                .gauge(&format!("detector.phi.{node}"))
+                .set(phi);
+        }
+        self.m.phi.observe(max_phi);
+        self.obs
+            .metrics
+            .gauge("detector.suspected")
+            .set(drt.detector.suspected().len() as f64);
+        let interval = drt.detector.config().interval;
+        self.detector = Some(drt);
+        for ev in events {
+            match ev {
+                DetectorEvent::Suspected(node, phi) => {
+                    self.obs.audit.failure_suspected(
+                        &node.to_string(),
+                        &format!("phi={phi:.2}"),
+                        now.as_micros(),
+                    );
+                    if let Some(crash_at) = self.heal.crash_times.get(&node) {
+                        self.m.mttd.observe(ms(now.saturating_since(*crash_at)));
+                    }
+                    self.heal.repair_queue.insert(node);
+                }
+                DetectorEvent::Restored(node) => {
+                    self.obs
+                        .audit
+                        .failure_cleared(&node.to_string(), now.as_micros());
+                }
+            }
+        }
+        self.try_repairs(now);
+        let tag = self.kernel.set_timer(interval);
+        self.timers.insert(tag, TimerPurpose::DetectorTick);
+    }
+}

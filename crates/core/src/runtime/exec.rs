@@ -1,0 +1,919 @@
+//! The transactional reconfiguration engine.
+//!
+//! A submitted [`ReconfigPlan`] becomes a [`PlanTxn`] — a transaction over
+//! the configuration graph with phases **Validate → Quiesce/Block → Apply
+//! (journaled) → Commit**:
+//!
+//! - **Validate** (see [`super::validate`]): the plan is simulated against
+//!   a shadow of the current graph; structurally impossible plans are
+//!   rejected before any mutation and audited as `plan_rejected`.
+//! - **Quiesce/Block**: each disruptive action blocks the channels into
+//!   its target and waits for in-flight jobs to drain. Targets stay
+//!   blocked until the whole plan commits or rolls back, so the blocked
+//!   set is exactly the plan's write-set.
+//! - **Apply**: every mutation pushes a compensating [`Undo`] onto the
+//!   transaction journal. Channel closures implied by removals are
+//!   deferred to commit so rollback can re-insert the original live
+//!   channels with their held messages intact.
+//! - **Commit** releases held messages in order and closes deferred
+//!   channels; **rollback** replays the journal in reverse (each undo
+//!   audited as `action_compensated`), releases blocked channels and
+//!   restores pre-plan lifecycles — the graph is exactly as the plan
+//!   found it.
+//!
+//! Queued plans are re-validated at dequeue time against the then-current
+//! graph, so a plan queued behind one that aborted (or that consumed the
+//! resources it needed) is rejected instead of executed blindly.
+
+use super::*;
+use crate::reconfig::InverseAction;
+
+/// Grouped plan-execution state: id allocation, the active transaction,
+/// the submission queue and finished reports.
+#[derive(Debug, Default)]
+pub(super) struct ExecState {
+    /// Last allocated reconfiguration id (ids are 1-based).
+    pub(super) last_id: u64,
+    /// The transaction currently executing, if any.
+    pub(super) active: Option<PlanTxn>,
+    /// Plans waiting behind the active transaction, in submission order.
+    pub(super) queued: VecDeque<(ReconfigId, ReconfigPlan)>,
+    /// Reports of finished plans, oldest first.
+    pub(super) reports: Vec<ReconfigReport>,
+}
+
+#[derive(Debug)]
+enum ExecPhase {
+    Idle,
+    AwaitQuiesce { action: ReconfigAction },
+    AwaitTransfer { action: ReconfigAction },
+}
+
+/// A compensating journal entry. `Plan` inverses are derived from the
+/// action text alone ([`ReconfigAction::derive_inverse`]); the other
+/// variants carry captured runtime objects that a plan action could not
+/// reconstruct.
+#[derive(Debug)]
+enum Undo {
+    /// Replay a plan-level inverse (remove what was added, migrate back).
+    Plan(InverseAction),
+    /// Restore the implementation a swap displaced.
+    RestoreImpl {
+        name: String,
+        component: Box<dyn Component>,
+        type_name: String,
+        version: u32,
+    },
+    /// Re-insert a removed instance together with its channels.
+    ReinsertInstance {
+        name: String,
+        instance: Box<Instance>,
+        external: Option<ChannelId>,
+        replies: Vec<((String, String), ChannelId)>,
+    },
+    /// Re-insert a removed binding (its channels were never closed —
+    /// closure is deferred to commit).
+    ReinsertBinding {
+        from: (String, String),
+        binding: BindingRt,
+    },
+    /// Re-insert a removed or interchanged connector object (preserving
+    /// its id and statistics).
+    ReinsertConnector {
+        name: String,
+        connector: Box<Connector>,
+    },
+}
+
+impl Undo {
+    fn describe(&self) -> String {
+        match self {
+            Undo::Plan(inv) => inv.to_string(),
+            Undo::RestoreImpl {
+                name,
+                type_name,
+                version,
+                ..
+            } => format!("undo-swap: restore {name} to {type_name} v{version}"),
+            Undo::ReinsertInstance { name, .. } => format!("undo-remove: reinsert {name}"),
+            Undo::ReinsertBinding { from, .. } => {
+                format!("undo-unbind: rebind {}.{}", from.0, from.1)
+            }
+            Undo::ReinsertConnector { name, .. } => {
+                format!("undo: reinsert connector {name}")
+            }
+        }
+    }
+}
+
+/// One quiesced target of the active transaction: the channels blocked on
+/// its behalf and the lifecycle to restore on rollback.
+#[derive(Debug)]
+struct BlockedTarget {
+    channels: Vec<ChannelId>,
+    prior: Lifecycle,
+}
+
+/// An executing reconfiguration transaction.
+#[derive(Debug)]
+pub(super) struct PlanTxn {
+    id: ReconfigId,
+    /// Trace span covering the whole plan execution.
+    span: SpanId,
+    actions: VecDeque<ReconfigAction>,
+    started_at: SimTime,
+    phase: ExecPhase,
+    blackouts: BTreeMap<String, SimDuration>,
+    messages_held: u64,
+    state_bytes: u64,
+    applied: usize,
+    /// Compensating inverses of applied actions, in application order.
+    journal: Vec<Undo>,
+    /// Quiesced targets; they stay blocked until commit or rollback.
+    blocked: BTreeMap<String, BlockedTarget>,
+    /// Channels whose closure (from removals/unbinds) is deferred to
+    /// commit so rollback can resurrect them intact.
+    deferred_close: Vec<ChannelId>,
+}
+
+impl Runtime {
+    /// Submits a reconfiguration plan. Plans run one at a time; extra
+    /// submissions queue in order and are re-validated against the live
+    /// configuration graph when they reach the front. Returns the plan's
+    /// id; the outcome arrives later as a
+    /// [`RuntimeEvent::ReconfigFinished`] event and in
+    /// [`Runtime::reports`].
+    pub fn request_reconfig(&mut self, plan: ReconfigPlan) -> ReconfigId {
+        self.exec.last_id += 1;
+        let id = ReconfigId(self.exec.last_id);
+        self.obs.audit.plan_submitted(
+            &id.to_string(),
+            &format!("{} actions", plan.len()),
+            self.kernel.now().as_micros(),
+        );
+        if self.exec.active.is_some() {
+            self.exec.queued.push_back((id, plan));
+        } else {
+            self.start_exec(id, plan);
+            self.advance_reconfig();
+        }
+        id
+    }
+
+    /// Completed reconfiguration reports, oldest first.
+    #[must_use]
+    pub fn reports(&self) -> &[ReconfigReport] {
+        &self.exec.reports
+    }
+
+    /// Whether a reconfiguration is currently executing.
+    #[must_use]
+    pub fn reconfig_in_progress(&self) -> bool {
+        self.exec.active.is_some()
+    }
+
+    /// Validates `plan` against the live graph and, if it passes, opens
+    /// its transaction. Rejected plans never mutate anything: they are
+    /// audited, reported and dropped.
+    fn start_exec(&mut self, id: ReconfigId, plan: ReconfigPlan) {
+        let now_us = self.kernel.now().as_micros();
+        if let Err(reason) = self.validate_plan(&plan) {
+            self.reject_plan(id, &reason);
+            return;
+        }
+        self.obs
+            .audit
+            .plan_validated(&id.to_string(), &format!("{} actions", plan.len()), now_us);
+        let span = self.obs.tracer.span_start(
+            &format!("plan:{id}"),
+            SpanId::NONE,
+            self.kernel.now().as_micros(),
+        );
+        self.exec.active = Some(PlanTxn {
+            id,
+            span,
+            actions: plan.into_actions().into(),
+            started_at: self.kernel.now(),
+            phase: ExecPhase::Idle,
+            blackouts: BTreeMap::new(),
+            messages_held: 0,
+            state_bytes: 0,
+            applied: 0,
+            journal: Vec::new(),
+            blocked: BTreeMap::new(),
+            deferred_close: Vec::new(),
+        });
+    }
+
+    /// Books a validation rejection: audit (`plan_rejected` + a
+    /// `plan_finished` so submissions always reconcile with finishes), a
+    /// zero-action report, and repair bookkeeping so a rejected repair
+    /// plan is re-planned on the next detector tick.
+    fn reject_plan(&mut self, id: ReconfigId, reason: &str) {
+        let now = self.kernel.now();
+        let plan = id.to_string();
+        self.obs.audit.plan_rejected(&plan, reason, now.as_micros());
+        self.obs.audit.plan_finished(
+            &plan,
+            &format!("failed: rejected: {reason}"),
+            now.as_micros(),
+        );
+        // A rejected repair leaves its node queued; the next detector tick
+        // re-plans against the then-current topology.
+        self.heal.repair_pending.remove(&id);
+        let report = ReconfigReport {
+            id,
+            started_at: now,
+            finished_at: now,
+            success: false,
+            failure: Some(format!("rejected: {reason}")),
+            actions_applied: 0,
+            blackouts: BTreeMap::new(),
+            messages_held: 0,
+            state_bytes_transferred: 0,
+        };
+        self.events
+            .push((now, RuntimeEvent::ReconfigFinished(report.clone())));
+        self.exec.reports.push(report);
+    }
+
+    pub(super) fn advance_reconfig(&mut self) {
+        loop {
+            let Some(txn) = self.exec.active.as_mut() else {
+                // Start the next queued plan, if any; `start_exec`
+                // re-validates it against the graph as it now stands.
+                let Some((id, plan)) = self.exec.queued.pop_front() else {
+                    return;
+                };
+                self.start_exec(id, plan);
+                continue;
+            };
+            let phase = std::mem::replace(&mut txn.phase, ExecPhase::Idle);
+            match phase {
+                ExecPhase::Idle => {
+                    let Some(action) = self
+                        .exec
+                        .active
+                        .as_mut()
+                        .and_then(|e| e.actions.pop_front())
+                    else {
+                        self.commit_txn();
+                        continue;
+                    };
+                    if let Some(target) = action.quiesce_target().map(str::to_owned) {
+                        if !self.instances.contains_key(&target) {
+                            self.abort_txn(format!("unknown component `{target}`"));
+                            continue;
+                        }
+                        self.begin_quiesce(&target);
+                        self.exec.active.as_mut().expect("active").phase =
+                            ExecPhase::AwaitQuiesce { action };
+                        if self.instances[&target].lifecycle == Lifecycle::Quiescent {
+                            continue; // already drained: mutate immediately
+                        }
+                        return; // wait for in-flight jobs to finish
+                    }
+                    match self.apply_instant(&action) {
+                        Ok(()) => self.record_action(&action),
+                        Err(e) => {
+                            self.abort_txn(format!("{action}: {e}"));
+                        }
+                    }
+                }
+                ExecPhase::AwaitQuiesce { action } => {
+                    let target = action.quiesce_target().expect("quiesce action").to_owned();
+                    if self
+                        .instances
+                        .get(&target)
+                        .is_some_and(|i| i.lifecycle != Lifecycle::Quiescent)
+                    {
+                        // Not drained yet; keep waiting.
+                        self.exec.active.as_mut().expect("active").phase =
+                            ExecPhase::AwaitQuiesce { action };
+                        return;
+                    }
+                    match self.start_mutation(&action) {
+                        Ok(Some(delay)) => {
+                            let tag = self.kernel.set_timer(delay);
+                            self.timers.insert(tag, TimerPurpose::TransferDone);
+                            self.exec.active.as_mut().expect("active").phase =
+                                ExecPhase::AwaitTransfer { action };
+                            return;
+                        }
+                        // The target stays blocked until the whole plan
+                        // commits; release happens in `commit_txn`.
+                        Ok(None) => self.record_action(&action),
+                        Err(e) => {
+                            self.abort_txn(format!("{action}: {e}"));
+                        }
+                    }
+                }
+                ExecPhase::AwaitTransfer { action } => {
+                    // Re-entered from the TransferDone timer; the mutation
+                    // itself was journaled when it was applied.
+                    self.record_action(&action);
+                }
+            }
+        }
+    }
+
+    /// Counts one applied action into the active transaction and records
+    /// it in the audit log and the plan's trace span.
+    fn record_action(&mut self, action: &ReconfigAction) {
+        let now_us = self.kernel.now().as_micros();
+        if let Some(exec) = self.exec.active.as_mut() {
+            exec.applied += 1;
+            let rendered = action.to_string();
+            self.obs
+                .audit
+                .action_applied(&exec.id.to_string(), &rendered, "ok", now_us);
+            self.obs
+                .tracer
+                .event(exec.span, "action", &rendered, now_us);
+        }
+    }
+
+    /// Pushes a compensating inverse onto the active transaction's
+    /// journal.
+    fn journal(&mut self, undo: Undo) {
+        if let Some(txn) = self.exec.active.as_mut() {
+            txn.journal.push(undo);
+        }
+    }
+
+    /// Defers a channel closure to commit time, so rollback can re-insert
+    /// the still-open channel (held messages intact).
+    fn defer_close(&mut self, ch: ChannelId) {
+        if let Some(txn) = self.exec.active.as_mut() {
+            txn.deferred_close.push(ch);
+        }
+    }
+
+    /// Blocks every channel delivering into `name` and marks it
+    /// `Quiescing` (or `Quiescent` if already drained). The target stays
+    /// blocked until the transaction commits or rolls back; quiescing the
+    /// same target twice in one plan is a no-op.
+    fn begin_quiesce(&mut self, name: &str) {
+        let now = self.kernel.now();
+        let Some(txn) = self.exec.active.as_ref() else {
+            return;
+        };
+        if txn.blocked.contains_key(name) {
+            return; // already blocked by an earlier action of this plan
+        }
+        let plan = txn.id.to_string();
+        let channels = self.inbound_channels(name);
+        for ch in &channels {
+            self.kernel.block_channel(*ch);
+            self.obs.audit.channel_blocked(
+                &plan,
+                &format!("ch={} -> {name}", ch.0),
+                now.as_micros(),
+            );
+        }
+        let mut prior = Lifecycle::Active;
+        if let Some(inst) = self.instances.get_mut(name) {
+            prior = inst.lifecycle;
+            // `Failed` instances can be quiesced too — that is exactly how
+            // repair plans reach them (a crash cancelled their in-flight
+            // jobs, so they drain immediately).
+            if matches!(inst.lifecycle, Lifecycle::Active | Lifecycle::Failed) {
+                inst.lifecycle = if inst.inflight == 0 {
+                    Lifecycle::Quiescent
+                } else {
+                    Lifecycle::Quiescing
+                };
+                inst.blocked_at = Some(now);
+            }
+        }
+        if let Some(txn) = self.exec.active.as_mut() {
+            txn.blocked
+                .insert(name.to_owned(), BlockedTarget { channels, prior });
+        }
+    }
+
+    fn inbound_channels(&self, name: &str) -> Vec<ChannelId> {
+        let mut out = Vec::new();
+        if let Some(ch) = self.external_channels.get(name) {
+            out.push(*ch);
+        }
+        for ((_, to), ch) in &self.reply_channels {
+            if to == name {
+                out.push(*ch);
+            }
+        }
+        for b in self.bindings.values() {
+            for (idx, (inst, _)) in b.decl.to.iter().enumerate() {
+                if inst == name {
+                    out.push(b.channels[idx]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Commit: run deferred channel closures, release every held message
+    /// in order, return targets to `Active`, book blackouts, and finish
+    /// the transaction successfully.
+    fn commit_txn(&mut self) {
+        let now = self.kernel.now();
+        let Some(mut txn) = self.exec.active.take() else {
+            return;
+        };
+        let plan = txn.id.to_string();
+        // Deferred closures from removals/unbinds: audit the release of
+        // any that were blocked (keeping blocks and releases balanced),
+        // then close without re-queueing their held messages — those were
+        // destined for a component or binding that no longer exists.
+        for ch in std::mem::take(&mut txn.deferred_close) {
+            let was_blocked = txn.blocked.values_mut().any(|bt| {
+                bt.channels
+                    .iter()
+                    .position(|c| *c == ch)
+                    .map(|pos| bt.channels.remove(pos))
+                    .is_some()
+            });
+            if was_blocked {
+                self.obs.audit.channel_released(
+                    &plan,
+                    &format!("ch={} (closed)", ch.0),
+                    now.as_micros(),
+                );
+            }
+            self.kernel.close_channel(ch);
+        }
+        for (name, bt) in std::mem::take(&mut txn.blocked) {
+            let mut held = 0;
+            for ch in &bt.channels {
+                held += self.kernel.channel_stats(*ch).held;
+            }
+            for ch in bt.channels {
+                self.kernel.unblock_channel(ch);
+                self.obs.audit.channel_released(
+                    &plan,
+                    &format!("ch={} -> {name}", ch.0),
+                    now.as_micros(),
+                );
+            }
+            if let Some(inst) = self.instances.get_mut(&name) {
+                inst.lifecycle = Lifecycle::Active;
+                if let Some(at) = inst.blocked_at.take() {
+                    let blackout = now.saturating_since(at);
+                    let entry = txn
+                        .blackouts
+                        .entry(name.clone())
+                        .or_insert(SimDuration::ZERO);
+                    *entry = (*entry).max(blackout);
+                    txn.messages_held += held;
+                }
+            }
+        }
+        self.exec.active = Some(txn);
+        self.finish_reconfig(true, None);
+    }
+
+    /// Rollback: replay the journal in reverse (each undo audited as
+    /// `action_compensated`), release blocked channels, restore pre-plan
+    /// lifecycles, abandon deferred closures (their removals were just
+    /// reverted), and finish the transaction as failed. Afterwards the
+    /// configuration graph is exactly as the plan found it.
+    fn abort_txn(&mut self, reason: String) {
+        let now = self.kernel.now();
+        let Some(mut txn) = self.exec.active.take() else {
+            return;
+        };
+        let plan = txn.id.to_string();
+        let mut compensated = 0usize;
+        while let Some(undo) = txn.journal.pop() {
+            let desc = undo.describe();
+            self.apply_undo(undo, &mut txn, &plan);
+            self.obs
+                .audit
+                .action_compensated(&plan, &desc, self.kernel.now().as_micros());
+            compensated += 1;
+        }
+        self.obs.audit.plan_rolled_back(
+            &plan,
+            &reason,
+            &format!("{compensated} compensated"),
+            now.as_micros(),
+        );
+        for (name, bt) in std::mem::take(&mut txn.blocked) {
+            let mut held = 0;
+            for ch in &bt.channels {
+                held += self.kernel.channel_stats(*ch).held;
+            }
+            for ch in bt.channels {
+                self.kernel.unblock_channel(ch);
+                self.obs.audit.channel_released(
+                    &plan,
+                    &format!("ch={} -> {name}", ch.0),
+                    now.as_micros(),
+                );
+            }
+            if let Some(inst) = self.instances.get_mut(&name) {
+                inst.lifecycle = bt.prior;
+                if let Some(at) = inst.blocked_at.take() {
+                    let blackout = now.saturating_since(at);
+                    let entry = txn
+                        .blackouts
+                        .entry(name.clone())
+                        .or_insert(SimDuration::ZERO);
+                    *entry = (*entry).max(blackout);
+                    txn.messages_held += held;
+                }
+            }
+        }
+        // Every deferred closure stems from a removal that was just
+        // compensated; the channels stay open.
+        txn.deferred_close.clear();
+        // Nothing stays committed: the report reflects the rollback.
+        txn.applied = 0;
+        self.exec.active = Some(txn);
+        self.finish_reconfig(false, Some(reason));
+    }
+
+    /// Applies one compensating inverse during rollback.
+    fn apply_undo(&mut self, undo: Undo, txn: &mut PlanTxn, plan: &str) {
+        match undo {
+            Undo::Plan(InverseAction::RemoveComponent { name }) => {
+                if let Some(ch) = self.external_channels.remove(&name) {
+                    self.close_now(ch, txn, plan);
+                }
+                let reply_keys: Vec<(String, String)> = self
+                    .reply_channels
+                    .keys()
+                    .filter(|(a, b)| *a == name || *b == name)
+                    .cloned()
+                    .collect();
+                for key in reply_keys {
+                    if let Some(ch) = self.reply_channels.remove(&key) {
+                        self.close_now(ch, txn, plan);
+                    }
+                }
+                self.instances.remove(&name);
+                txn.blocked.remove(&name);
+            }
+            Undo::Plan(InverseAction::MigrateBack { name, to }) => {
+                if let Some(inst) = self.instances.get_mut(&name) {
+                    inst.node = to;
+                }
+                self.rehome_channels(&name, to);
+            }
+            Undo::Plan(InverseAction::RemoveConnector { name }) => {
+                self.connectors.remove(&name);
+            }
+            Undo::Plan(InverseAction::Unbind { from }) => {
+                if let Some(b) = self.bindings.remove(&from) {
+                    for ch in b.channels {
+                        self.close_now(ch, txn, plan);
+                    }
+                }
+            }
+            Undo::RestoreImpl {
+                name,
+                component,
+                type_name,
+                version,
+            } => {
+                if let Some(inst) = self.instances.get_mut(&name) {
+                    inst.component = component;
+                    inst.type_name = type_name;
+                    inst.version = version;
+                }
+            }
+            Undo::ReinsertInstance {
+                name,
+                instance,
+                external,
+                replies,
+            } => {
+                self.instances.insert(name.clone(), *instance);
+                if let Some(ch) = external {
+                    self.external_channels.insert(name, ch);
+                }
+                for (key, ch) in replies {
+                    self.reply_channels.insert(key, ch);
+                }
+            }
+            Undo::ReinsertBinding { from, binding } => {
+                self.bindings.insert(from, binding);
+            }
+            Undo::ReinsertConnector { name, connector } => {
+                self.connectors.insert(name, *connector);
+            }
+        }
+    }
+
+    /// Closes a channel immediately during rollback, first auditing its
+    /// release if the transaction had blocked it (blocks and releases
+    /// stay balanced in the audit log).
+    fn close_now(&mut self, ch: ChannelId, txn: &mut PlanTxn, plan: &str) {
+        let was_blocked = txn.blocked.values_mut().any(|bt| {
+            bt.channels
+                .iter()
+                .position(|c| *c == ch)
+                .map(|pos| bt.channels.remove(pos))
+                .is_some()
+        });
+        if was_blocked {
+            self.obs.audit.channel_released(
+                plan,
+                &format!("ch={} (closed)", ch.0),
+                self.kernel.now().as_micros(),
+            );
+        }
+        self.kernel.close_channel(ch);
+    }
+
+    /// Starts the mutation for a quiesce-requiring action, journaling its
+    /// compensating inverse. Returns `Ok(Some(delay))` when a simulated
+    /// state transfer must elapse before the action completes, `Ok(None)`
+    /// when the mutation is already complete.
+    fn start_mutation(
+        &mut self,
+        action: &ReconfigAction,
+    ) -> Result<Option<SimDuration>, RuntimeError> {
+        match action {
+            ReconfigAction::SwapImplementation {
+                name,
+                type_name,
+                version,
+                transfer,
+            } => {
+                let inst = self
+                    .instances
+                    .get(name)
+                    .ok_or_else(|| RuntimeError::UnknownComponent(name.clone()))?;
+                let mut replacement =
+                    self.registry
+                        .instantiate(type_name, *version, &inst.props)?;
+                let old_iface = inst.component.provided();
+                let new_iface = replacement.provided();
+                let violations = new_iface.check_backward_compatible(&old_iface);
+                if !violations.is_empty() {
+                    return Err(RuntimeError::IncompatibleInterface {
+                        component: name.clone(),
+                        reason: violations
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join("; "),
+                    });
+                }
+                let mut transferred = 0;
+                let delay = match transfer {
+                    StateTransfer::None => None,
+                    StateTransfer::Snapshot => {
+                        let snap = inst.component.snapshot();
+                        transferred = snap.transfer_size();
+                        replacement
+                            .restore(&snap)
+                            .map_err(|e| RuntimeError::ReconfigFailed {
+                                action: action.kind().to_owned(),
+                                reason: e.to_string(),
+                            })?;
+                        // Encoding + decoding the context costs node time.
+                        let cost = 0.5 + transferred as f64 / 1e6;
+                        let node = inst.node;
+                        self.kernel.run_job(node, cost)
+                    }
+                };
+                let inst = self.instances.get_mut(name).expect("checked");
+                let old = std::mem::replace(&mut inst.component, replacement);
+                let old_type = std::mem::replace(&mut inst.type_name, type_name.clone());
+                let old_version = std::mem::replace(&mut inst.version, *version);
+                self.journal(Undo::RestoreImpl {
+                    name: name.clone(),
+                    component: old,
+                    type_name: old_type,
+                    version: old_version,
+                });
+                if let Some(exec) = self.exec.active.as_mut() {
+                    exec.state_bytes += transferred;
+                }
+                Ok(delay)
+            }
+            ReconfigAction::Migrate { name, to } => {
+                if (to.0 as usize) >= self.kernel.topology().node_count()
+                    || !self.kernel.topology().node(*to).is_up()
+                {
+                    return Err(RuntimeError::NodeUnavailable(to.to_string()));
+                }
+                let inst = self
+                    .instances
+                    .get(name)
+                    .ok_or_else(|| RuntimeError::UnknownComponent(name.clone()))?;
+                let from_node = inst.node;
+                let snap = inst.component.snapshot();
+                let bytes = snap.transfer_size();
+                let transit = if self.kernel.topology().node(from_node).is_up() {
+                    self.kernel
+                        .topology()
+                        .route(from_node, *to, bytes)
+                        .ok_or_else(|| RuntimeError::NodeUnavailable(to.to_string()))?
+                        .transit
+                } else {
+                    // Recovery migration: the source node is down, so the
+                    // state comes from its last checkpoint, restored at the
+                    // destination (cost charged to the destination node).
+                    let cost = 1.0 + bytes as f64 / 1e6;
+                    self.kernel
+                        .run_job(*to, cost)
+                        .ok_or_else(|| RuntimeError::NodeUnavailable(to.to_string()))?
+                };
+                // Commit the move now; the transfer delay elapses before
+                // the action completes. The inverse migrates back.
+                let inst = self.instances.get_mut(name).expect("checked");
+                inst.node = *to;
+                self.rehome_channels(name, *to);
+                self.journal(Undo::Plan(
+                    action
+                        .derive_inverse(Some(from_node))
+                        .expect("migrate has inverse"),
+                ));
+                if let Some(exec) = self.exec.active.as_mut() {
+                    exec.state_bytes += bytes;
+                }
+                Ok(Some(transit))
+            }
+            ReconfigAction::RemoveComponent { name } => {
+                let used_by_binding = self
+                    .bindings
+                    .values()
+                    .any(|b| b.decl.from.0 == *name || b.decl.to.iter().any(|(i, _)| i == name));
+                if used_by_binding {
+                    return Err(RuntimeError::ReconfigFailed {
+                        action: action.kind().to_owned(),
+                        reason: format!("component `{name}` still has bindings"),
+                    });
+                }
+                let instance = self
+                    .instances
+                    .remove(name)
+                    .ok_or_else(|| RuntimeError::UnknownComponent(name.clone()))?;
+                let external = self.external_channels.remove(name);
+                let reply_keys: Vec<(String, String)> = self
+                    .reply_channels
+                    .keys()
+                    .filter(|(a, b)| a == name || b == name)
+                    .cloned()
+                    .collect();
+                let mut replies = Vec::with_capacity(reply_keys.len());
+                for key in reply_keys {
+                    if let Some(ch) = self.reply_channels.remove(&key) {
+                        replies.push((key, ch));
+                    }
+                }
+                // Closure is deferred to commit: rollback re-inserts the
+                // same live channels with their held messages intact.
+                if let Some(ch) = external {
+                    self.defer_close(ch);
+                }
+                for (_, ch) in &replies {
+                    self.defer_close(*ch);
+                }
+                self.journal(Undo::ReinsertInstance {
+                    name: name.clone(),
+                    instance: Box::new(instance),
+                    external,
+                    replies,
+                });
+                Ok(None)
+            }
+            other => Err(RuntimeError::ReconfigFailed {
+                action: other.kind().to_owned(),
+                reason: "not a quiesce-requiring action".into(),
+            }),
+        }
+    }
+
+    /// Applies an action that needs no quiescence, journaling its
+    /// compensating inverse.
+    fn apply_instant(&mut self, action: &ReconfigAction) -> Result<(), RuntimeError> {
+        match action {
+            ReconfigAction::AddComponent { name, decl } => {
+                self.add_component(name, decl)?;
+                self.journal(Undo::Plan(
+                    action.derive_inverse(None).expect("add has inverse"),
+                ));
+                Ok(())
+            }
+            ReconfigAction::AddConnector { spec, .. } => {
+                self.add_connector(spec.clone())?;
+                self.journal(Undo::Plan(
+                    action.derive_inverse(None).expect("add has inverse"),
+                ));
+                Ok(())
+            }
+            ReconfigAction::SwapConnector { name, spec } => {
+                // Same replacement `adapt_connector` performs, but the
+                // displaced connector object (id and statistics intact) is
+                // captured for the journal instead of dropped.
+                if !self.connectors.contains_key(name) {
+                    return Err(RuntimeError::UnknownConnector(name.clone()));
+                }
+                let id = ConnectorId(self.next_connector_id);
+                self.next_connector_id += 1;
+                let prior = self
+                    .connectors
+                    .insert(name.clone(), Connector::new(id, spec.clone()));
+                if let Some(connector) = prior {
+                    self.journal(Undo::ReinsertConnector {
+                        name: name.clone(),
+                        connector: Box::new(connector),
+                    });
+                }
+                Ok(())
+            }
+            ReconfigAction::RemoveConnector { name } => {
+                if self.bindings.values().any(|b| b.decl.via == *name) {
+                    return Err(RuntimeError::ReconfigFailed {
+                        action: action.kind().to_owned(),
+                        reason: format!("connector `{name}` still in use"),
+                    });
+                }
+                let connector = self
+                    .connectors
+                    .remove(name)
+                    .ok_or_else(|| RuntimeError::UnknownConnector(name.clone()))?;
+                self.journal(Undo::ReinsertConnector {
+                    name: name.clone(),
+                    connector: Box::new(connector),
+                });
+                Ok(())
+            }
+            ReconfigAction::Bind(decl) => {
+                self.add_binding(decl.clone())?;
+                self.journal(Undo::Plan(
+                    action.derive_inverse(None).expect("bind has inverse"),
+                ));
+                Ok(())
+            }
+            ReconfigAction::Unbind { from } => {
+                // Transaction-aware unbind: the binding leaves the graph
+                // now, but its channels stay open (closure deferred to
+                // commit) so rollback can re-insert them intact.
+                let binding = self.bindings.remove(from).ok_or_else(|| {
+                    RuntimeError::InvalidConfiguration(format!(
+                        "no binding at `{}.{}`",
+                        from.0, from.1
+                    ))
+                })?;
+                for ch in &binding.channels {
+                    self.defer_close(*ch);
+                }
+                self.journal(Undo::ReinsertBinding {
+                    from: from.clone(),
+                    binding,
+                });
+                Ok(())
+            }
+            other => Err(RuntimeError::ReconfigFailed {
+                action: other.kind().to_owned(),
+                reason: "requires quiescence".into(),
+            }),
+        }
+    }
+
+    /// Books the transaction's outcome: audit, repair bookkeeping, trace
+    /// span, report and event. Channel state has already been settled by
+    /// [`Runtime::commit_txn`] or [`Runtime::abort_txn`].
+    fn finish_reconfig(&mut self, success: bool, failure: Option<String>) {
+        let now = self.kernel.now();
+        let Some(exec) = self.exec.active.take() else {
+            return;
+        };
+        debug_assert!(exec.blocked.values().all(|bt| bt.channels.is_empty()));
+        self.obs.audit.plan_finished(
+            &exec.id.to_string(),
+            &failure
+                .as_deref()
+                .map_or_else(|| "success".to_owned(), |f| format!("failed: {f}")),
+            now.as_micros(),
+        );
+        // If this plan was a repair, book the outcome. On failure the node
+        // stays queued and the next detector tick re-plans, so repair
+        // keeps converging even when a target dies mid-plan.
+        if let Some(node) = self.heal.repair_pending.remove(&exec.id) {
+            if success {
+                self.complete_repair(&exec.id.to_string(), node, now);
+            }
+        }
+        self.obs.tracer.span_end(exec.span, now.as_micros());
+        let report = ReconfigReport {
+            id: exec.id,
+            started_at: exec.started_at,
+            finished_at: now,
+            success,
+            failure,
+            actions_applied: exec.applied,
+            blackouts: exec.blackouts,
+            messages_held: exec.messages_held,
+            state_bytes_transferred: exec.state_bytes,
+        };
+        self.events
+            .push((now, RuntimeEvent::ReconfigFinished(report.clone())));
+        self.exec.reports.push(report);
+    }
+}

@@ -1,0 +1,230 @@
+use super::*;
+use std::collections::BTreeSet;
+
+/// Grouped self-healing state: the repair policy, failure semantics and
+/// the bookkeeping that drives repair convergence.
+#[derive(Debug, Default)]
+pub(super) struct HealState {
+    /// The repair policy applied to suspected node failures.
+    pub(super) policy: RepairPolicy,
+    /// Whether node crashes kill hosted instances (fail-stop semantics).
+    pub(super) fail_stop: bool,
+    /// First crash time per node still inside an open incident (MTTR).
+    pub(super) crash_times: BTreeMap<NodeId, SimTime>,
+    /// Nodes awaiting a repair plan.
+    pub(super) repair_queue: BTreeSet<NodeId>,
+    /// In-flight repair plans and the node each one repairs.
+    pub(super) repair_pending: BTreeMap<ReconfigId, NodeId>,
+}
+
+impl Runtime {
+    /// Sets the repair policy applied to suspected node failures.
+    pub fn set_repair_policy(&mut self, policy: RepairPolicy) {
+        self.heal.policy = policy;
+    }
+
+    /// The repair policy in force.
+    #[must_use]
+    pub fn repair_policy(&self) -> &RepairPolicy {
+        &self.heal.policy
+    }
+
+    /// Switches fail-stop semantics on or off (default: off). Under
+    /// fail-stop, a node crash kills its hosted component instances —
+    /// they enter [`Lifecycle::Failed`] and discard deliveries until a
+    /// repair plan reinstates or relocates them. Without it, a crash
+    /// merely pauses the node and instances resume with it.
+    pub fn set_fail_stop(&mut self, on: bool) {
+        self.heal.fail_stop = on;
+    }
+
+    /// Plans and submits repairs for every queued suspect the policy can
+    /// currently act on. A node whose repair plan fails stays queued and
+    /// is retried on the next tick, so repair converges even when (say) a
+    /// failover target dies mid-plan.
+    pub(super) fn try_repairs(&mut self, now: SimTime) {
+        if matches!(self.heal.policy, RepairPolicy::None) {
+            self.heal.repair_queue.clear();
+            return;
+        }
+        for node in self.heal.repair_queue.clone() {
+            if self.heal.repair_pending.values().any(|n| *n == node) {
+                continue; // a repair for this node is already in flight
+            }
+            if self.heal.policy.needs_node_back() && !self.kernel.topology().node(node).is_up() {
+                continue; // restart-in-place waits for the node's return
+            }
+            let snap = self.observe();
+            let intercessions = self.heal.policy.plan_for(node, &snap);
+            if intercessions.is_empty() {
+                self.heal.repair_queue.remove(&node);
+                self.heal.crash_times.remove(&node);
+                continue;
+            }
+            for cmd in intercessions {
+                match cmd {
+                    Intercession::Reconfigure(plan) => {
+                        let detail =
+                            format!("{}: {} actions", self.heal.policy.label(), plan.len());
+                        let id = self.request_reconfig(plan);
+                        self.obs.audit.repair_planned(
+                            &id.to_string(),
+                            &node.to_string(),
+                            &detail,
+                            now.as_micros(),
+                        );
+                        // A plan with nothing to drain completes inside
+                        // `request_reconfig`; book it now, since the
+                        // `finish_reconfig` hook has already run.
+                        let sync = self
+                            .exec
+                            .reports
+                            .iter()
+                            .rev()
+                            .find(|r| r.id == id)
+                            .map(|r| r.success);
+                        match sync {
+                            Some(true) => self.complete_repair(&id.to_string(), node, now),
+                            Some(false) => {} // stays queued; next tick re-plans
+                            None => {
+                                self.heal.repair_pending.insert(id, node);
+                            }
+                        }
+                    }
+                    Intercession::AdaptConnector { name, spec } => {
+                        // Lightweight path: the degraded connector mediates
+                        // the very next message, so repair is immediate.
+                        self.obs.audit.repair_planned(
+                            "-",
+                            &node.to_string(),
+                            &format!("{}: adapt connector `{name}`", self.heal.policy.label()),
+                            now.as_micros(),
+                        );
+                        let _ = self.adapt_connector(&name, spec);
+                        self.complete_repair("-", node, now);
+                    }
+                    Intercession::Notify(text) => {
+                        self.events.push((now, RuntimeEvent::Notify(text)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Books a finished repair: MTTR observation, audit entry, queue
+    /// cleanup.
+    pub(super) fn complete_repair(&mut self, plan: &str, node: NodeId, now: SimTime) {
+        self.heal.repair_queue.remove(&node);
+        let detail = match self.heal.crash_times.remove(&node) {
+            Some(crash_at) => {
+                let mttr = ms(now.saturating_since(crash_at));
+                self.m.mttr.observe(mttr);
+                format!("mttr_ms={mttr:.3}")
+            }
+            None => "repaired".to_owned(),
+        };
+        self.obs
+            .audit
+            .repair_completed(plan, &node.to_string(), &detail, now.as_micros());
+    }
+
+    /// Topology-fault bookkeeping, independent of (and before) RAML fault
+    /// rules: crash timestamps, the dropped-on-crash accounting, fail-stop
+    /// instance kills, and repair retriggers on recovery.
+    pub(super) fn on_topology_fault(&mut self, kind: FaultKind, now: SimTime) {
+        match kind {
+            FaultKind::NodeCrash(node) => {
+                self.heal.crash_times.entry(node).or_insert(now);
+                self.cancel_jobs_on(node, now);
+                if self.heal.fail_stop {
+                    for inst in self.instances.values_mut() {
+                        if inst.node == node && inst.lifecycle == Lifecycle::Active {
+                            inst.lifecycle = Lifecycle::Failed;
+                        }
+                    }
+                }
+            }
+            FaultKind::NodeRecover(node) => {
+                // A short outage can end before suspicion ever fires, yet
+                // fail-stop already killed the hosted instances: make sure
+                // the returning node is queued so they get repaired.
+                let needs_repair = self.heal.fail_stop
+                    && !matches!(self.heal.policy, RepairPolicy::None)
+                    && self
+                        .instances
+                        .values()
+                        .any(|i| i.node == node && i.lifecycle == Lifecycle::Failed);
+                if needs_repair {
+                    self.heal.repair_queue.insert(node);
+                }
+                if self.heal.repair_queue.contains(&node) {
+                    self.try_repairs(now);
+                }
+                // If the incident closed with nothing to repair (or no
+                // policy), stop timing it — the next crash is a new one.
+                if !self.heal.repair_queue.contains(&node)
+                    && !self.heal.repair_pending.values().any(|n| *n == node)
+                {
+                    self.heal.crash_times.remove(&node);
+                }
+            }
+            FaultKind::LinkDown(_) | FaultKind::LinkUp(_) => {}
+        }
+    }
+
+    /// The dropped-on-crash fix: handler jobs queued on a crashing node
+    /// used to vanish without trace (their completion timers simply fired
+    /// into nothing). Cancel them here, count every one, and leave an
+    /// audit entry per affected instance.
+    pub(super) fn cancel_jobs_on(&mut self, node: NodeId, now: SimTime) {
+        let doomed: Vec<u64> = self
+            .timers
+            .iter()
+            .filter_map(|(tag, p)| match p {
+                TimerPurpose::JobDone { instance, .. } => self
+                    .instances
+                    .get(instance)
+                    .is_some_and(|i| i.node == node)
+                    .then_some(*tag),
+                _ => None,
+            })
+            .collect();
+        let mut lost: BTreeMap<String, u64> = BTreeMap::new();
+        for tag in doomed {
+            let Some(TimerPurpose::JobDone { instance, .. }) = self.timers.remove(&tag) else {
+                continue;
+            };
+            if let Some(inst) = self.instances.get_mut(&instance) {
+                inst.inflight = inst.inflight.saturating_sub(1);
+            }
+            *lost.entry(instance).or_insert(0) += 1;
+        }
+        let mut drained = false;
+        for (instance, count) in &lost {
+            self.m.dropped.add(*count);
+            self.m.dropped_on_crash.add(*count);
+            self.obs.audit.dropped_on_crash(
+                instance,
+                &format!("{count} in-flight jobs lost in crash of {node}"),
+                now.as_micros(),
+            );
+            self.events.push((
+                now,
+                RuntimeEvent::Dropped {
+                    reason: format!(
+                        "{count} in-flight jobs on `{instance}` lost in crash of {node}"
+                    ),
+                },
+            ));
+            if let Some(inst) = self.instances.get_mut(instance) {
+                if inst.lifecycle == Lifecycle::Quiescing && inst.inflight == 0 {
+                    inst.lifecycle = Lifecycle::Quiescent;
+                    drained = true;
+                }
+            }
+        }
+        if drained {
+            self.advance_reconfig();
+        }
+    }
+}

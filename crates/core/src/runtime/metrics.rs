@@ -1,0 +1,65 @@
+//! Aggregate runtime metrics: the public [`RuntimeMetrics`] snapshot and
+//! the lock-free [`MetricHandles`] into the shared `aas-obs` registry
+//! that the hot paths increment.
+
+use aas_obs::{Counter, HistogramHandle, Obs};
+use aas_sim::stats::Histogram;
+
+/// Point-in-time view of the runtime's aggregate metrics, assembled from
+/// the shared `aas-obs` registry by [`crate::runtime::Runtime::metrics`]. The registry is
+/// the source of truth; this struct is a convenience copy.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeMetrics {
+    /// End-to-end latency of every delivered message (milliseconds).
+    pub e2e_latency: Histogram,
+    /// Request→reply round-trip times (milliseconds).
+    pub rtt: Histogram,
+    /// Messages that found no binding at their source port.
+    pub unrouted: u64,
+    /// Messages dropped in transit or at delivery.
+    pub dropped: u64,
+    /// Handler errors.
+    pub handler_errors: u64,
+    /// Queued handler jobs lost when their host node crashed (a subset of
+    /// `dropped`, broken out so crashes can be accounted precisely).
+    pub dropped_on_crash: u64,
+    /// Deliveries re-sent under a connector retry policy.
+    pub retries: u64,
+    /// Failure-detection latency: crash → suspicion (milliseconds).
+    pub mttd_ms: Histogram,
+    /// Repair latency: crash → repair plan committed (milliseconds).
+    pub mttr_ms: Histogram,
+}
+
+/// Lock-free handles into the shared registry for the runtime's hot-path
+/// metrics.
+#[derive(Debug)]
+pub(super) struct MetricHandles {
+    pub(super) e2e_latency: HistogramHandle,
+    pub(super) rtt: HistogramHandle,
+    pub(super) unrouted: Counter,
+    pub(super) dropped: Counter,
+    pub(super) handler_errors: Counter,
+    pub(super) dropped_on_crash: Counter,
+    pub(super) retries: Counter,
+    pub(super) mttd: HistogramHandle,
+    pub(super) mttr: HistogramHandle,
+    pub(super) phi: HistogramHandle,
+}
+
+impl MetricHandles {
+    pub(super) fn new(obs: &Obs) -> Self {
+        MetricHandles {
+            e2e_latency: obs.metrics.histogram("runtime.e2e_latency_ms"),
+            rtt: obs.metrics.histogram("runtime.rtt_ms"),
+            unrouted: obs.metrics.counter("runtime.unrouted"),
+            dropped: obs.metrics.counter("runtime.dropped"),
+            handler_errors: obs.metrics.counter("runtime.handler_errors"),
+            dropped_on_crash: obs.metrics.counter("runtime.dropped_on_crash"),
+            retries: obs.metrics.counter("runtime.retries"),
+            mttd: obs.metrics.histogram("heal.mttd_ms"),
+            mttr: obs.metrics.histogram("heal.mttr_ms"),
+            phi: obs.metrics.histogram("detector.phi"),
+        }
+    }
+}

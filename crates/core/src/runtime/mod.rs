@@ -1,0 +1,584 @@
+//! The component runtime: hosts instances, mediates messages through
+//! connectors, and executes reconfiguration plans with quiescence, channel
+//! blocking and state transfer.
+//!
+//! The runtime drives an [`aas_sim::Kernel`] event loop. Application
+//! messages travel as envelopes over kernel channels; processing cost
+//! is charged to the hosting node (so overload produces queueing delay);
+//! and the RAML meta-level observes the whole system on a periodic
+//! meta-protocol tick.
+//!
+//! # Transactional reconfiguration protocol
+//!
+//! Executing a [`ReconfigPlan`] is a *transaction* (a `PlanTxn`, private
+//! to the `exec` submodule)
+//! over the configuration graph, combining the Polylith-style channel
+//! discipline the paper describes — "waiting to reach a reconfiguration
+//! point; and blocking communication channels (to manage the messages in
+//! transit) while the module context is encoded and a new module is
+//! created" — with Kramer & Magee-style quiescence and full rollback:
+//!
+//! 1. **Validate**: the plan is checked against the current configuration
+//!    graph before any mutation (unknown components/nodes, duplicate adds,
+//!    interface-incompatible swaps and rebinds, dead or overloaded
+//!    migration targets, removals that would strand bindings). Structurally
+//!    impossible plans are *rejected* — audited, reported, never started.
+//! 2. **Quiesce/Block**: for each disruptive action, all channels
+//!    delivering into the target are blocked and the target drains to its
+//!    reconfiguration point (`Quiescing` → `Quiescent`). Held messages are
+//!    kept, not lost, and targets stay blocked until the whole plan
+//!    resolves so rollback restores exactly the pre-plan picture.
+//! 3. **Apply (journaled)**: each action is applied and a compensating
+//!    inverse is journaled (re-insert the captured instance/binding/
+//!    connector, migrate back, restore the previous implementation).
+//!    Channel closures implied by removals are *deferred to commit*.
+//! 4. **Commit / Rollback**: when every action has applied, deferred
+//!    closures run, blocked channels release their held messages in order,
+//!    and targets return to `Active` — the block→release window is each
+//!    component's *blackout*. If any action fails mid-flight, the journal
+//!    is replayed in reverse (each undo audited as `action_compensated`),
+//!    blocked channels are released, and the configuration graph is
+//!    exactly as the plan found it.
+//!
+//! Queued plans are re-validated at dequeue time: a plan that was
+//! submitted against a graph later changed by an aborted or competing
+//! plan is rejected instead of executed blindly.
+//!
+//! # Module map
+//!
+//! The runtime is layered into focused submodules (DESIGN.md §2.1):
+//! this facade owns the state, construction, the kernel event loop and
+//! introspection; [`mod@self`]'s children own the rest —
+//! `structure` (deployment and structural edits), `dispatch` (message
+//! routing, retries, replies), `exec` (the transactional plan engine),
+//! `validate` (the up-front validation pass), `detect_driver` (heartbeat
+//! transport + phi-accrual ticks), `heal_driver` (repair planning and
+//! crash bookkeeping), `meta` (RAML observation/intercession) and
+//! `metrics` (aggregate metric handles).
+
+use crate::component::{CallCtx, Component, ComponentId, Effect, Lifecycle};
+use crate::config::{BindingDecl, ComponentDecl, Configuration};
+use crate::connector::{Connector, ConnectorId, ConnectorSpec};
+use crate::detector::{DetectorConfig, DetectorEvent, FailureDetector};
+use crate::error::RuntimeError;
+use crate::heal::RepairPolicy;
+use crate::message::{Message, MessageId, MessageKind, SequenceTracker, Value};
+use crate::raml::{
+    ComponentObservation, ConnectorObservation, Intercession, NodeObservation, Raml, SystemSnapshot,
+};
+use crate::reconfig::{ReconfigAction, ReconfigId, ReconfigPlan, ReconfigReport, StateTransfer};
+use crate::registry::{ImplementationRegistry, Props};
+use aas_obs::{HistogramHandle, Obs, SpanId};
+use aas_sim::channel::ChannelId;
+use aas_sim::fault::FaultKind;
+use aas_sim::kernel::{Fired, Kernel};
+use aas_sim::network::Topology;
+use aas_sim::node::NodeId;
+use aas_sim::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+mod detect_driver;
+mod dispatch;
+mod exec;
+mod heal_driver;
+mod meta;
+mod metrics;
+mod structure;
+#[cfg(test)]
+mod tests;
+mod validate;
+
+pub use metrics::RuntimeMetrics;
+
+use exec::ExecState;
+use heal_driver::HealState;
+use metrics::MetricHandles;
+
+/// The sender name used for injected (external) workload messages.
+pub const EXTERNAL: &str = "external";
+
+/// Milliseconds represented by a sim duration — the workspace-wide unit
+/// for latency metrics.
+fn ms(d: SimDuration) -> f64 {
+    d.as_micros() as f64 / 1e3
+}
+
+/// What an envelope carries: application traffic or detector plumbing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EnvKind {
+    /// An ordinary application message.
+    Normal,
+    /// A failure-detector heartbeat emitted by the given node. Heartbeats
+    /// never reach a component; the runtime intercepts them at delivery.
+    Heartbeat(NodeId),
+}
+
+/// A message in transit between two component instances.
+#[derive(Debug, Clone)]
+struct Envelope {
+    msg: Message,
+    to_instance: String,
+    /// Target port name; carried for diagnostics and future port-level
+    /// dispatch.
+    #[allow(dead_code)]
+    to_port: String,
+    extra_cost: f64,
+    /// Connector that mediated this copy, if any.
+    via: Option<String>,
+    /// How many times this copy has already been (re)sent.
+    attempt: u32,
+    kind: EnvKind,
+}
+
+/// Noteworthy happenings surfaced to the embedding application.
+#[derive(Debug, Clone)]
+pub enum RuntimeEvent {
+    /// A reconfiguration finished (successfully or not).
+    ReconfigFinished(ReconfigReport),
+    /// A connector's protocol was violated by a message.
+    ProtocolViolation {
+        /// The connector.
+        connector: String,
+        /// Rendered violation.
+        details: String,
+    },
+    /// A component handler returned an error.
+    HandlerError {
+        /// The instance.
+        instance: String,
+        /// Rendered error.
+        details: String,
+    },
+    /// A message could not be routed or delivered.
+    Dropped {
+        /// Why.
+        reason: String,
+    },
+    /// A fault was injected into the topology.
+    Fault(FaultKind),
+    /// A RAML rule asked for a notification.
+    Notify(String),
+}
+#[derive(Debug)]
+struct Instance {
+    #[allow(dead_code)]
+    id: ComponentId,
+    node: NodeId,
+    type_name: String,
+    version: u32,
+    props: Props,
+    component: Box<dyn Component>,
+    lifecycle: Lifecycle,
+    inflight: u32,
+    processed: u64,
+    errors: u64,
+    /// Handle into the shared registry (`comp.<name>.latency_ms`).
+    latency: HistogramHandle,
+    tracker: SequenceTracker,
+    /// Handles into the shared registry (`comp.<name>.<metric>`), interned
+    /// per custom metric name.
+    custom: BTreeMap<String, HistogramHandle>,
+    blocked_at: Option<SimTime>,
+}
+
+#[derive(Debug)]
+struct BindingRt {
+    decl: BindingDecl,
+    channels: Vec<ChannelId>,
+}
+
+#[derive(Debug)]
+enum TimerPurpose {
+    JobDone {
+        instance: String,
+        envelope: Box<Envelope>,
+    },
+    ComponentTimer {
+        instance: String,
+        tag: u64,
+    },
+    RamlTick,
+    TransferDone,
+    Inject {
+        target: String,
+        message: Box<Message>,
+    },
+    /// Periodic heartbeat emission + suspicion evaluation.
+    DetectorTick,
+    /// A backed-off redelivery of a dropped envelope.
+    Retry {
+        envelope: Box<Envelope>,
+    },
+}
+
+/// The failure detector plus its heartbeat transport: one kernel channel
+/// per watched node, converging on the monitor node.
+#[derive(Debug)]
+struct DetectorRt {
+    detector: FailureDetector,
+    hb_channels: BTreeMap<NodeId, ChannelId>,
+}
+/// The component runtime.
+///
+/// # Examples
+///
+/// ```
+/// use aas_core::component::EchoComponent;
+/// use aas_core::config::{BindingDecl, ComponentDecl, Configuration};
+/// use aas_core::connector::ConnectorSpec;
+/// use aas_core::message::{Message, Value};
+/// use aas_core::registry::ImplementationRegistry;
+/// use aas_core::runtime::Runtime;
+/// use aas_sim::network::Topology;
+/// use aas_sim::node::NodeId;
+/// use aas_sim::time::{SimDuration, SimTime};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut registry = ImplementationRegistry::new();
+/// registry.register("Echo", 1, |_| Box::new(EchoComponent::default()));
+///
+/// let topo = Topology::clique(2, 100.0, SimDuration::from_millis(1), 1e6);
+/// let mut rt = Runtime::new(topo, 42, registry);
+///
+/// let mut cfg = Configuration::new();
+/// cfg.component("echo", ComponentDecl::new("Echo", 1, NodeId(0)));
+/// rt.deploy(&cfg)?;
+///
+/// rt.inject("echo", Message::request("echo", Value::from("hi")))?;
+/// rt.run_until(SimTime::from_secs(1));
+/// let replies = rt.take_outbox();
+/// assert_eq!(replies.len(), 1);
+/// assert_eq!(replies[0].1.value, Value::from("hi"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Runtime {
+    kernel: Kernel<Envelope>,
+    registry: ImplementationRegistry,
+    instances: BTreeMap<String, Instance>,
+    connectors: BTreeMap<String, Connector>,
+    bindings: BTreeMap<(String, String), BindingRt>,
+    external_channels: BTreeMap<String, ChannelId>,
+    reply_channels: BTreeMap<(String, String), ChannelId>,
+    timers: BTreeMap<u64, TimerPurpose>,
+    flow_seq: BTreeMap<(String, String), u64>,
+    pending_requests: BTreeMap<MessageId, (SimTime, String)>,
+    next_msg_id: u64,
+    next_component_id: u64,
+    next_connector_id: u64,
+    pending_connector_swaps: BTreeMap<String, ConnectorSpec>,
+    /// Transactional plan-execution state (see [`exec`]).
+    exec: ExecState,
+    raml: Option<Raml>,
+    detector: Option<DetectorRt>,
+    /// Self-healing state: policy, crash times, repair queue (see
+    /// [`heal_driver`]).
+    heal: HealState,
+    events: Vec<(SimTime, RuntimeEvent)>,
+    outbox: Vec<(SimTime, Message)>,
+    obs: Obs,
+    m: MetricHandles,
+}
+
+impl Runtime {
+    /// Creates a runtime over `topology`, seeded for determinism, with the
+    /// given implementation registry.
+    #[must_use]
+    pub fn new(topology: Topology, seed: u64, registry: ImplementationRegistry) -> Self {
+        Self::with_obs(topology, seed, registry, Obs::new())
+    }
+
+    /// Like [`Runtime::new`], but recording into an existing telemetry
+    /// bundle (so several runtimes, monitors or tools can share one).
+    #[must_use]
+    pub fn with_obs(
+        topology: Topology,
+        seed: u64,
+        registry: ImplementationRegistry,
+        obs: Obs,
+    ) -> Self {
+        let m = MetricHandles::new(&obs);
+        let mut kernel = Kernel::new(topology, seed);
+        kernel.set_tracer(obs.tracer.clone());
+        Runtime {
+            kernel,
+            registry,
+            instances: BTreeMap::new(),
+            connectors: BTreeMap::new(),
+            bindings: BTreeMap::new(),
+            external_channels: BTreeMap::new(),
+            reply_channels: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            flow_seq: BTreeMap::new(),
+            pending_requests: BTreeMap::new(),
+            next_msg_id: 1,
+            next_component_id: 1,
+            next_connector_id: 1,
+            pending_connector_swaps: BTreeMap::new(),
+            exec: ExecState::default(),
+            raml: None,
+            detector: None,
+            heal: HealState::default(),
+            events: Vec::new(),
+            outbox: Vec::new(),
+            obs,
+            m,
+        }
+    }
+    // ------------------------------------------------------------------
+    // Workload
+    // ------------------------------------------------------------------
+
+    /// Injects an external message to `target` right now, returning the
+    /// assigned message id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `target` does not exist.
+    pub fn inject(&mut self, target: &str, msg: Message) -> Result<MessageId, RuntimeError> {
+        let ch = *self
+            .external_channels
+            .get(target)
+            .ok_or_else(|| RuntimeError::UnknownComponent(target.to_owned()))?;
+        let env = self.finalize(EXTERNAL, target, "in", msg, None);
+        let id = env.msg.id;
+        let size = env.msg.wire_size();
+        if !self.kernel.send(ch, env, size).is_sent() {
+            self.m.dropped.incr();
+        }
+        Ok(id)
+    }
+
+    /// Schedules an external message for `delay` from now.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `target` does not exist.
+    pub fn inject_after(
+        &mut self,
+        delay: SimDuration,
+        target: &str,
+        msg: Message,
+    ) -> Result<(), RuntimeError> {
+        if !self.instances.contains_key(target) {
+            return Err(RuntimeError::UnknownComponent(target.to_owned()));
+        }
+        let tag = self.kernel.set_timer(delay);
+        self.timers.insert(
+            tag,
+            TimerPurpose::Inject {
+                target: target.to_owned(),
+                message: Box::new(msg),
+            },
+        );
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The event loop
+    // ------------------------------------------------------------------
+
+    /// Processes one kernel event; returns its time, or `None` when idle.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (at, fired) = self.kernel.step()?;
+        match fired {
+            Fired::Delivered { msg: env, .. } => {
+                if let EnvKind::Heartbeat(node) = env.kind {
+                    if let Some(drt) = self.detector.as_mut() {
+                        drt.detector.record_heartbeat(node, at);
+                    }
+                } else {
+                    self.on_delivered(env, at);
+                }
+            }
+            Fired::Timer { tag } => self.on_timer(tag, at),
+            Fired::Fault(kind) => {
+                self.events.push((at, RuntimeEvent::Fault(kind)));
+                self.on_topology_fault(kind, at);
+                self.on_fault(kind);
+            }
+            Fired::DroppedAtDelivery {
+                msg: env, reason, ..
+            } => {
+                // A lost heartbeat *is* the detection signal, not loss.
+                if matches!(env.kind, EnvKind::Heartbeat(_)) {
+                    return Some(at);
+                }
+                self.m.dropped.incr();
+                self.events.push((
+                    at,
+                    RuntimeEvent::Dropped {
+                        reason: reason.to_string(),
+                    },
+                ));
+                self.maybe_retry(env, at);
+            }
+        }
+        Some(at)
+    }
+
+    /// Runs until no event at or before `deadline` remains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self.kernel.next_event_time().is_some_and(|t| t <= deadline) {
+            let _ = self.step();
+        }
+    }
+
+    /// Runs for `d` of virtual time from now.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.kernel.now() + d;
+        self.run_until(deadline);
+    }
+
+    fn on_timer(&mut self, tag: u64, now: SimTime) {
+        let Some(purpose) = self.timers.remove(&tag) else {
+            return;
+        };
+        match purpose {
+            TimerPurpose::JobDone { instance, envelope } => {
+                self.on_job_done(&instance, *envelope, now);
+            }
+            TimerPurpose::ComponentTimer { instance, tag } => {
+                if let Some(mut inst) = self.instances.remove(&instance) {
+                    let mut ctx = CallCtx::new(now, &instance);
+                    inst.component.on_timer(&mut ctx, tag);
+                    let effects = ctx.into_effects();
+                    self.instances.insert(instance.clone(), inst);
+                    self.apply_effects(&instance, effects, None, now);
+                }
+            }
+            TimerPurpose::RamlTick => self.on_raml_tick(now),
+            TimerPurpose::TransferDone => self.advance_reconfig(),
+            TimerPurpose::Inject { target, message } => {
+                let _ = self.inject(&target, *message);
+            }
+            TimerPurpose::DetectorTick => self.on_detector_tick(now),
+            TimerPurpose::Retry { envelope } => self.resend(*envelope, now),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection helpers
+    // ------------------------------------------------------------------
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// The topology (read access).
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        self.kernel.topology()
+    }
+
+    /// Injects a fault schedule into the underlying kernel.
+    pub fn inject_faults(&mut self, schedule: aas_sim::fault::FaultSchedule) {
+        self.kernel.inject_faults(schedule);
+    }
+
+    /// Aggregated runtime metrics, assembled on demand from the shared
+    /// `aas-obs` registry.
+    #[must_use]
+    pub fn metrics(&self) -> RuntimeMetrics {
+        RuntimeMetrics {
+            e2e_latency: self.m.e2e_latency.snapshot(),
+            rtt: self.m.rtt.snapshot(),
+            unrouted: self.m.unrouted.get(),
+            dropped: self.m.dropped.get(),
+            handler_errors: self.m.handler_errors.get(),
+            dropped_on_crash: self.m.dropped_on_crash.get(),
+            retries: self.m.retries.get(),
+            mttd_ms: self.m.mttd.snapshot(),
+            mttr_ms: self.m.mttr.snapshot(),
+        }
+    }
+
+    /// The runtime's telemetry bundle: shared metrics registry, tracer and
+    /// the reconfiguration audit log.
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Kernel-level counters (`sent`, `delivered`, `dropped`, `held`, …).
+    #[must_use]
+    pub fn kernel_counters(&self) -> &aas_sim::stats::Counters {
+        self.kernel.counters()
+    }
+
+    /// Lifecycle of an instance, if it exists.
+    #[must_use]
+    pub fn lifecycle(&self, name: &str) -> Option<Lifecycle> {
+        self.instances.get(name).map(|i| i.lifecycle)
+    }
+
+    /// The node currently hosting an instance.
+    #[must_use]
+    pub fn node_of(&self, name: &str) -> Option<NodeId> {
+        self.instances.get(name).map(|i| i.node)
+    }
+
+    /// Removes and returns all replies addressed to the external client.
+    pub fn take_outbox(&mut self) -> Vec<(SimTime, Message)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Removes and returns accumulated runtime events.
+    pub fn drain_events(&mut self) -> Vec<(SimTime, RuntimeEvent)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Names of live component instances.
+    pub fn instance_names(&self) -> impl Iterator<Item = &str> {
+        self.instances.keys().map(String::as_str)
+    }
+
+    /// A deterministic textual rendering of the configuration graph:
+    /// every component (implementation, version, placement), connector
+    /// (spec) and binding (source port, connector, targets), in sorted
+    /// order. Two runtimes with equal fingerprints host structurally
+    /// identical architectures — the transactional tests use this to
+    /// prove that rejected and rolled-back plans leave the graph exactly
+    /// as they found it.
+    #[must_use]
+    pub fn graph_fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, inst) in &self.instances {
+            let _ = writeln!(
+                out,
+                "component {name}: {} v{} on {}",
+                inst.type_name, inst.version, inst.node
+            );
+        }
+        for (name, c) in &self.connectors {
+            let _ = writeln!(out, "connector {name}: {:?}", c.spec());
+        }
+        for (from, b) in &self.bindings {
+            let _ = writeln!(
+                out,
+                "binding {}.{} via {} -> {:?}",
+                from.0, from.1, b.decl.via, b.decl.to
+            );
+        }
+        out
+    }
+
+    /// A deterministic textual rendering of every component's state
+    /// snapshot, in name order. Combined with
+    /// [`Runtime::graph_fingerprint`] this captures graph *and* state:
+    /// in a quiet system, both must be byte-identical around a rejected
+    /// or rolled-back plan.
+    #[must_use]
+    pub fn state_fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, inst) in &self.instances {
+            let _ = writeln!(out, "state {name}: {:?}", inst.component.snapshot());
+        }
+        out
+    }
+}

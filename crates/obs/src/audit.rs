@@ -18,7 +18,17 @@ pub enum AuditKind {
     ActionApplied,
     /// A plan finished (see `outcome` for success/failure).
     PlanFinished,
-    /// A plan was rolled back.
+    /// A plan passed up-front validation and may begin mutating.
+    PlanValidated,
+    /// A plan was rejected by up-front validation before any mutation.
+    PlanRejected,
+    /// A plan aborted mid-flight and its applied actions were compensated.
+    PlanRolledBack,
+    /// One applied action was undone by replaying its compensating inverse.
+    ActionCompensated,
+    /// A plan was rolled back (legacy coarse record; transactional
+    /// execution emits [`AuditKind::PlanRolledBack`] plus one
+    /// [`AuditKind::ActionCompensated`] per undone action instead).
     RolledBack,
     /// A channel was blocked for quiescence.
     ChannelBlocked,
@@ -44,6 +54,10 @@ impl AuditKind {
             AuditKind::PlanSubmitted => "plan_submitted",
             AuditKind::ActionApplied => "action_applied",
             AuditKind::PlanFinished => "plan_finished",
+            AuditKind::PlanValidated => "plan_validated",
+            AuditKind::PlanRejected => "plan_rejected",
+            AuditKind::PlanRolledBack => "plan_rolled_back",
+            AuditKind::ActionCompensated => "action_compensated",
             AuditKind::RolledBack => "rolled_back",
             AuditKind::ChannelBlocked => "channel_blocked",
             AuditKind::ChannelReleased => "channel_released",
@@ -128,6 +142,31 @@ impl AuditLog {
     /// Records completion of `plan` with `outcome`.
     pub fn plan_finished(&self, plan: &str, outcome: &str, at_us: u64) {
         self.append(at_us, AuditKind::PlanFinished, plan, "", outcome);
+    }
+
+    /// Records that `plan` passed up-front validation; `detail` typically
+    /// carries the action count.
+    pub fn plan_validated(&self, plan: &str, detail: &str, at_us: u64) {
+        self.append(at_us, AuditKind::PlanValidated, plan, detail, "");
+    }
+
+    /// Records that `plan` was rejected before any mutation, with the
+    /// validation `reason`.
+    pub fn plan_rejected(&self, plan: &str, reason: &str, at_us: u64) {
+        self.append(at_us, AuditKind::PlanRejected, plan, "", reason);
+    }
+
+    /// Records that `plan` aborted mid-flight and was rolled back;
+    /// `reason` is the triggering failure, `detail` typically carries the
+    /// number of compensated actions.
+    pub fn plan_rolled_back(&self, plan: &str, reason: &str, detail: &str, at_us: u64) {
+        self.append(at_us, AuditKind::PlanRolledBack, plan, detail, reason);
+    }
+
+    /// Records that one applied `action` of `plan` was undone by its
+    /// compensating inverse during rollback.
+    pub fn action_compensated(&self, plan: &str, action: &str, at_us: u64) {
+        self.append(at_us, AuditKind::ActionCompensated, plan, action, "ok");
     }
 
     /// Records a rollback of `plan` with its reason.
@@ -268,6 +307,33 @@ mod tests {
         );
         assert_eq!(AuditKind::DroppedOnCrash.label(), "dropped_on_crash");
         assert_eq!(log.len(), 5);
+    }
+
+    #[test]
+    fn transactional_kinds_round_trip() {
+        let log = AuditLog::new();
+        log.plan_submitted("reconfig3", "migrate coder", 0);
+        log.plan_validated("reconfig3", "1 actions", 1);
+        log.plan_rolled_back("reconfig3", "target node crashed", "1 compensated", 9);
+        log.action_compensated("reconfig3", "migrate coder -> node2", 9);
+        log.plan_rejected("reconfig4", "unknown component ghost", 12);
+        assert_eq!(
+            log.of_kind(AuditKind::PlanValidated)[0].subject,
+            "1 actions"
+        );
+        assert_eq!(
+            log.of_kind(AuditKind::PlanRolledBack)[0].outcome,
+            "target node crashed"
+        );
+        assert_eq!(log.of_kind(AuditKind::ActionCompensated)[0].outcome, "ok");
+        assert_eq!(
+            log.of_kind(AuditKind::PlanRejected)[0].outcome,
+            "unknown component ghost"
+        );
+        assert_eq!(AuditKind::PlanValidated.label(), "plan_validated");
+        assert_eq!(AuditKind::PlanRejected.label(), "plan_rejected");
+        assert_eq!(AuditKind::PlanRolledBack.label(), "plan_rolled_back");
+        assert_eq!(AuditKind::ActionCompensated.label(), "action_compensated");
     }
 
     #[test]
