@@ -349,8 +349,13 @@ impl SequenceTracker {
     }
 
     /// Observes sequence number `seq` on flow `flow` and classifies it.
+    /// The flow name is only allocated the first time a flow is seen;
+    /// steady-state observations look up by `&str` and allocate nothing.
     pub fn observe(&mut self, flow: &str, seq: u64) -> SeqVerdict {
-        let next = self.next_expected.entry(flow.to_owned()).or_insert(0);
+        let next = match self.next_expected.get_mut(flow) {
+            Some(next) => next,
+            None => self.next_expected.entry(flow.to_owned()).or_insert(0),
+        };
         if seq == *next {
             *next += 1;
             SeqVerdict::InOrder

@@ -294,16 +294,22 @@ impl Runtime {
         msg.from = from.to_owned();
         msg.sent_at = self.kernel.now();
         if msg.kind != MessageKind::Reply {
-            let seq = self
-                .flow_seq
-                .entry((from.to_owned(), to_inst.to_owned()))
-                .or_insert(0);
+            // Render the `from->to` flow key into the reusable buffer: the
+            // sequence bump and the connector's sequence check both look up
+            // by `&str`, so steady-state dispatch allocates no key strings.
+            use std::fmt::Write as _;
+            self.seq_key_buf.clear();
+            let _ = write!(self.seq_key_buf, "{from}->{to_inst}");
+            let seq = match self.flow_seq.get_mut(self.seq_key_buf.as_str()) {
+                Some(seq) => seq,
+                None => self.flow_seq.entry(self.seq_key_buf.clone()).or_insert(0),
+            };
             msg.seq = *seq;
             *seq += 1;
             if let Some(via) = via {
                 if let Some(conn) = self.connectors.get_mut(via) {
                     if conn.has_sequence_check() {
-                        conn.observe_sequence(&format!("{from}->{to_inst}"), msg.seq);
+                        conn.observe_sequence(&self.seq_key_buf, msg.seq);
                     }
                 }
             }

@@ -262,7 +262,12 @@ pub struct Runtime {
     external_channels: BTreeMap<String, ChannelId>,
     reply_channels: BTreeMap<(String, String), ChannelId>,
     timers: BTreeMap<u64, TimerPurpose>,
-    flow_seq: BTreeMap<(String, String), u64>,
+    /// Per-flow send sequence numbers, keyed by the rendered `from->to`
+    /// flow key (see `seq_key_buf`).
+    flow_seq: BTreeMap<String, u64>,
+    /// Reusable buffer for building `from->to` flow keys on the dispatch
+    /// path without a per-message `format!` allocation.
+    seq_key_buf: String,
     pending_requests: BTreeMap<MessageId, (SimTime, String)>,
     next_msg_id: u64,
     next_component_id: u64,
@@ -311,6 +316,7 @@ impl Runtime {
             reply_channels: BTreeMap::new(),
             timers: BTreeMap::new(),
             flow_seq: BTreeMap::new(),
+            seq_key_buf: String::new(),
             pending_requests: BTreeMap::new(),
             next_msg_id: 1,
             next_component_id: 1,
@@ -503,9 +509,10 @@ impl Runtime {
         &self.obs
     }
 
-    /// Kernel-level counters (`sent`, `delivered`, `dropped`, `held`, …).
+    /// Kernel-level counters (`sent`, `delivered`, `dropped`, `held`, …),
+    /// exported on demand from the kernel's enum-indexed fast array.
     #[must_use]
-    pub fn kernel_counters(&self) -> &aas_sim::stats::Counters {
+    pub fn kernel_counters(&self) -> aas_sim::stats::Counters {
         self.kernel.counters()
     }
 

@@ -208,9 +208,15 @@ impl Counters {
         Counters::default()
     }
 
-    /// Adds `n` to counter `name`, creating it at zero if absent.
+    /// Adds `n` to counter `name`, creating it at zero if absent. The key
+    /// is only allocated the first time a counter is touched; subsequent
+    /// bumps look up by `&str` and allocate nothing.
     pub fn add(&mut self, name: &str, n: u64) {
-        *self.map.entry(name.to_owned()).or_insert(0) += n;
+        if let Some(v) = self.map.get_mut(name) {
+            *v += n;
+        } else {
+            self.map.insert(name.to_owned(), n);
+        }
     }
 
     /// Adds one to counter `name`.

@@ -8,12 +8,63 @@
 use crate::channel::{Channel, ChannelId, ChannelStats, DropReason, HeldMessage};
 use crate::event::EventQueue;
 use crate::fault::{FaultKind, FaultSchedule};
-use crate::network::Topology;
+use crate::network::{Route, RouteCache, RouteCacheStats, Topology};
 use crate::node::NodeId;
 use crate::rng::SimRng;
 use crate::stats::Counters;
 use crate::time::{SimDuration, SimTime};
 use aas_obs::{SpanId, Tracer};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The kernel's per-message lifecycle counters, enum-indexed so the hot
+/// path bumps a fixed array slot instead of walking a string-keyed map.
+/// [`Kernel::counters`] exports them into a [`Counters`] under their
+/// historical names (`sent`, `delivered`, …) for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum KernelCounter {
+    /// Messages accepted by [`Kernel::send`].
+    Sent,
+    /// Messages handed to the application.
+    Delivered,
+    /// Messages dropped at send or delivery time.
+    Dropped,
+    /// Messages held by blocked channels.
+    Held,
+    /// Held messages released by [`Kernel::unblock_channel`].
+    Released,
+    /// Faults applied to the topology.
+    FaultsApplied,
+}
+
+impl KernelCounter {
+    /// Number of counters (the fast array's length).
+    pub const COUNT: usize = 6;
+
+    /// The historical string name this counter exports under.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelCounter::Sent => "sent",
+            KernelCounter::Delivered => "delivered",
+            KernelCounter::Dropped => "dropped",
+            KernelCounter::Held => "held",
+            KernelCounter::Released => "released",
+            KernelCounter::FaultsApplied => "faults_applied",
+        }
+    }
+
+    /// All counters, in export order.
+    pub const ALL: [KernelCounter; KernelCounter::COUNT] = [
+        KernelCounter::Sent,
+        KernelCounter::Delivered,
+        KernelCounter::Dropped,
+        KernelCounter::Held,
+        KernelCounter::Released,
+        KernelCounter::FaultsApplied,
+    ];
+}
 
 /// Outcome of a [`Kernel::send`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,7 +162,10 @@ pub struct Kernel<M> {
     topology: Topology,
     channels: Vec<Channel<M>>,
     rng: SimRng,
-    counters: Counters,
+    /// Enum-indexed fast counters; exported on demand by
+    /// [`Kernel::counters`].
+    counters: [u64; KernelCounter::COUNT],
+    route_cache: RouteCache,
     tracer: Tracer,
     next_timer_tag: u64,
 }
@@ -120,16 +174,23 @@ impl<M> Kernel<M> {
     /// Creates a kernel over `topology`, seeded with `seed`.
     #[must_use]
     pub fn new(topology: Topology, seed: u64) -> Self {
+        let route_cache = RouteCache::new(&topology);
         Kernel {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             topology,
             channels: Vec::new(),
             rng: SimRng::seed_from(seed),
-            counters: Counters::new(),
+            counters: [0; KernelCounter::COUNT],
+            route_cache,
             tracer: Tracer::new(),
             next_timer_tag: 0,
         }
+    }
+
+    #[inline]
+    fn bump(&mut self, c: KernelCounter) {
+        self.counters[c as usize] += 1;
     }
 
     /// Current virtual time.
@@ -154,10 +215,36 @@ impl<M> Kernel<M> {
         &mut self.rng
     }
 
-    /// Kernel-level counters (`sent`, `delivered`, `dropped`, …).
+    /// Kernel-level counters (`sent`, `delivered`, `dropped`, …), exported
+    /// from the enum-indexed fast array into a [`Counters`] snapshot. The
+    /// per-message path never touches a string-keyed map; this export only
+    /// runs when a report or test asks for it.
     #[must_use]
-    pub fn counters(&self) -> &Counters {
-        &self.counters
+    pub fn counters(&self) -> Counters {
+        let mut c = Counters::new();
+        for k in KernelCounter::ALL {
+            c.add(k.name(), self.counters[k as usize]);
+        }
+        c
+    }
+
+    /// Reads one fast counter directly, no export.
+    #[must_use]
+    pub fn counter(&self, c: KernelCounter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Resolves the route a send on `(src, dst, size)` would take right
+    /// now, through the kernel's epoch-invalidated [`RouteCache`]. Exposed
+    /// so tests and benches can audit exactly what the send path uses.
+    pub fn route(&mut self, src: NodeId, dst: NodeId, size: u64) -> Option<Arc<Route>> {
+        self.route_cache.resolve(&self.topology, src, dst, size)
+    }
+
+    /// Route-cache performance counters (hits, misses, invalidations).
+    #[must_use]
+    pub fn route_cache_stats(&self) -> RouteCacheStats {
+        self.route_cache.stats()
     }
 
     /// Replaces the kernel's tracer, typically with a shared workspace
@@ -197,7 +284,15 @@ impl<M> Kernel<M> {
     /// Rebinds a channel's endpoints (used when a component migrates).
     /// Messages already in flight are unaffected; new sends use the new
     /// endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node does not exist in the topology — the same
+    /// validation [`Kernel::open_channel`] applies, so a bad migration
+    /// fails at the rebind instead of at a later routing query.
     pub fn rebind_channel(&mut self, ch: ChannelId, src: NodeId, dst: NodeId) {
+        assert!((src.0 as usize) < self.topology.node_count(), "bad src");
+        assert!((dst.0 as usize) < self.topology.node_count(), "bad dst");
         let c = self.channel_mut(ch);
         c.src = src;
         c.dst = dst;
@@ -242,7 +337,9 @@ impl<M> Kernel<M> {
         let now = self.now;
         let c = self.channel_mut(ch);
         c.blocked = false;
-        let held: Vec<HeldMessage<M>> = c.held.drain(..).collect();
+        // Take the deque wholesale and push straight into the event queue —
+        // no intermediate collection.
+        let held: VecDeque<HeldMessage<M>> = std::mem::take(&mut c.held);
         let held_count = held.len() as u64;
         c.stats.held = 0;
         for h in held {
@@ -256,7 +353,7 @@ impl<M> Kernel<M> {
                 },
             );
         }
-        self.counters.add("released", held_count);
+        self.counters[KernelCounter::Released as usize] += held_count;
         self.tracer.event(
             SpanId::NONE,
             "queue",
@@ -277,12 +374,12 @@ impl<M> Kernel<M> {
         };
         if !open {
             self.channel_mut(ch).stats.dropped += 1;
-            self.counters.incr("dropped");
+            self.bump(KernelCounter::Dropped);
             return SendOutcome::Dropped(DropReason::ChannelClosed);
         }
-        let Some(route) = self.topology.route(src, dst, size) else {
+        let Some(route) = self.route_cache.resolve(&self.topology, src, dst, size) else {
             self.channel_mut(ch).stats.dropped += 1;
-            self.counters.incr("dropped");
+            self.bump(KernelCounter::Dropped);
             return SendOutcome::Dropped(DropReason::Unreachable);
         };
         self.topology.account_route(&route, size);
@@ -292,7 +389,7 @@ impl<M> Kernel<M> {
             c.fifo_tail = arrival;
             c.stats.sent += 1;
         }
-        self.counters.incr("sent");
+        self.bump(KernelCounter::Sent);
         if self.tracer.sample_hop() {
             self.tracer.hop(
                 "send",
@@ -350,13 +447,15 @@ impl<M> Kernel<M> {
     }
 
     fn apply_fault(&mut self, kind: FaultKind) {
+        // Liveness flips go through the topology-level mutators so the
+        // routing epoch bumps and the route cache invalidates.
         match kind {
-            FaultKind::NodeCrash(n) => self.topology.node_mut(n).set_up(false),
-            FaultKind::NodeRecover(n) => self.topology.node_mut(n).set_up(true),
-            FaultKind::LinkDown(l) => self.topology.link_mut(l).set_up(false),
-            FaultKind::LinkUp(l) => self.topology.link_mut(l).set_up(true),
+            FaultKind::NodeCrash(n) => self.topology.set_node_up(n, false),
+            FaultKind::NodeRecover(n) => self.topology.set_node_up(n, true),
+            FaultKind::LinkDown(l) => self.topology.set_link_up(l, false),
+            FaultKind::LinkUp(l) => self.topology.set_link_up(l, true),
         }
-        self.counters.incr("faults_applied");
+        self.bump(KernelCounter::FaultsApplied);
     }
 
     // ----- the engine loop ---------------------------------------------
@@ -388,7 +487,7 @@ impl<M> Kernel<M> {
                     };
                     if !open {
                         self.channel_mut(channel).stats.dropped += 1;
-                        self.counters.incr("dropped");
+                        self.bump(KernelCounter::Dropped);
                         return Some((
                             at,
                             Fired::DroppedAtDelivery {
@@ -402,7 +501,7 @@ impl<M> Kernel<M> {
                         let c = self.channel_mut(channel);
                         c.held.push_back(HeldMessage { msg, size, sent_at });
                         c.stats.held = c.held.len() as u64;
-                        self.counters.incr("held");
+                        self.bump(KernelCounter::Held);
                         if self.tracer.sample_hop() {
                             self.tracer
                                 .hop("hold", &format!("ch={}", channel.0), at.as_micros());
@@ -411,7 +510,7 @@ impl<M> Kernel<M> {
                     }
                     if !self.topology.node(dst).is_up() {
                         self.channel_mut(channel).stats.dropped += 1;
-                        self.counters.incr("dropped");
+                        self.bump(KernelCounter::Dropped);
                         return Some((
                             at,
                             Fired::DroppedAtDelivery {
@@ -422,7 +521,7 @@ impl<M> Kernel<M> {
                         ));
                     }
                     self.channel_mut(channel).stats.delivered += 1;
-                    self.counters.incr("delivered");
+                    self.bump(KernelCounter::Delivered);
                     if self.tracer.sample_hop() {
                         let delay_us = at.saturating_since(sent_at).as_micros();
                         self.tracer.hop(
@@ -584,7 +683,7 @@ mod tests {
     fn dead_source_cannot_send() {
         let (mut k, a, b) = kernel2();
         let ch = k.open_channel(a, b);
-        k.topology_mut().node_mut(a).set_up(false);
+        k.topology_mut().set_node_up(a, false);
         assert_eq!(
             k.send(ch, 1, 10),
             SendOutcome::Dropped(DropReason::Unreachable)
@@ -700,7 +799,7 @@ mod tests {
     fn run_job_respects_node_state() {
         let (mut k, a, _) = kernel2();
         assert!(k.run_job(a, 10.0).is_some());
-        k.topology_mut().node_mut(a).set_up(false);
+        k.topology_mut().set_node_up(a, false);
         assert!(k.run_job(a, 10.0).is_none());
     }
 }

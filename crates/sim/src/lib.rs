@@ -62,9 +62,9 @@ pub mod trace;
 
 pub use channel::{ChannelId, ChannelStats, DropReason};
 pub use fault::{FaultKind, FaultSchedule};
-pub use kernel::{Fired, Kernel, SendOutcome};
+pub use kernel::{Fired, Kernel, KernelCounter, SendOutcome};
 pub use link::{LinkId, LinkSpec};
-pub use network::Topology;
+pub use network::{Route, RouteCache, RouteCacheStats, RouteScratch, Topology};
 pub use node::{NodeId, NodeSpec};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

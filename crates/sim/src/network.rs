@@ -3,11 +3,19 @@
 //! A [`Topology`] owns the nodes and links of the simulated deployment and
 //! answers routing queries: what is the latency-cheapest live path between
 //! two nodes, and how long does a message of a given size take along it?
+//!
+//! Routing queries are memoizable: the topology carries a *routing epoch*
+//! that bumps on every mutation that can change a routing answer (node or
+//! link added, node or link up/down). A [`RouteCache`] keyed on
+//! `(src, dst, size)` serves [`Arc<Route>`]s while the epoch is unchanged
+//! and fully invalidates the moment it bumps, so cached answers are always
+//! identical to a fresh Dijkstra run.
 
 use crate::link::{Link, LinkId, LinkSpec};
 use crate::node::{Node, NodeId, NodeSpec};
 use crate::time::{SimDuration, SimTime};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// A routed path: the links traversed and the total transit time for the
 /// queried message size.
@@ -44,6 +52,9 @@ pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
     adjacency: Vec<Vec<LinkId>>,
+    /// Routing epoch: bumps on any mutation that can change a routing
+    /// answer. Caches key their validity on it.
+    epoch: u64,
 }
 
 impl Topology {
@@ -53,11 +64,21 @@ impl Topology {
         Topology::default()
     }
 
+    /// The current routing epoch. Any mutation that can change a routing
+    /// answer (adding nodes or links, taking nodes or links up or down)
+    /// increments it; a [`RouteCache`] compares epochs to decide whether
+    /// its entries are still valid.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Adds a node, returning its id.
     pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node::new(id, spec));
         self.adjacency.push(Vec::new());
+        self.epoch += 1;
         id
     }
 
@@ -75,7 +96,38 @@ impl Topology {
         self.adjacency[spec.a.0 as usize].push(id);
         self.adjacency[spec.b.0 as usize].push(id);
         self.links.push(Link::new(id, spec));
+        self.epoch += 1;
         id
+    }
+
+    /// Takes a node up or down, bumping the routing epoch when the state
+    /// actually changes. This is the only way to change node liveness —
+    /// fault application goes through here so route caches can never serve
+    /// a path through a dead node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_node_up(&mut self, id: NodeId, up: bool) {
+        let node = &mut self.nodes[id.0 as usize];
+        if node.is_up() != up {
+            node.set_up(up);
+            self.epoch += 1;
+        }
+    }
+
+    /// Takes a link up or down, bumping the routing epoch when the state
+    /// actually changes. See [`Topology::set_node_up`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_link_up(&mut self, id: LinkId, up: bool) {
+        let link = &mut self.links[id.0 as usize];
+        if link.is_up() != up {
+            link.set_up(up);
+            self.epoch += 1;
+        }
     }
 
     /// Number of nodes.
@@ -148,27 +200,62 @@ impl Topology {
     ///
     /// Returns `None` if either endpoint is down or no live path exists.
     /// Local delivery (`src == dst`) costs [`LOCAL_TRANSIT`].
+    ///
+    /// This allocates fresh working buffers per call; hot paths should use
+    /// [`Topology::route_with`] with a long-lived [`RouteScratch`], or go
+    /// through a [`RouteCache`].
     #[must_use]
     pub fn route(&self, src: NodeId, dst: NodeId, size: u64) -> Option<Route> {
+        let mut scratch = RouteScratch::default();
+        self.route_with(src, dst, size, &mut scratch)
+    }
+
+    /// Like [`Topology::route`], but reuses the caller's scratch buffers:
+    /// after the buffers have grown to the topology's size no further heap
+    /// allocation happens inside the search (the returned `Route` still
+    /// owns its link list).
+    #[must_use]
+    pub fn route_with(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        size: u64,
+        scratch: &mut RouteScratch,
+    ) -> Option<Route> {
+        let transit = self.dijkstra_into(src, dst, size, scratch)?;
+        Some(Route {
+            links: scratch.links.clone(),
+            transit,
+        })
+    }
+
+    /// Dijkstra over per-message transit time (latency + serialization),
+    /// writing the traversal-ordered path into `scratch.links` and
+    /// returning the total transit. Allocation-free once `scratch` has
+    /// warmed up to the topology size.
+    fn dijkstra_into(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        size: u64,
+        scratch: &mut RouteScratch,
+    ) -> Option<SimDuration> {
+        scratch.links.clear();
         if !self.node(src).is_up() || !self.node(dst).is_up() {
             return None;
         }
         if src == dst {
-            return Some(Route {
-                links: Vec::new(),
-                transit: LOCAL_TRANSIT,
-            });
+            return Some(LOCAL_TRANSIT);
         }
-        // Dijkstra over per-message transit time (latency + serialization).
         let n = self.nodes.len();
-        let mut dist: Vec<Option<SimDuration>> = vec![None; n];
-        let mut prev: Vec<Option<LinkId>> = vec![None; n];
-        let mut heap: BinaryHeap<std::cmp::Reverse<(SimDuration, u32)>> = BinaryHeap::new();
-        dist[src.0 as usize] = Some(SimDuration::ZERO);
-        heap.push(std::cmp::Reverse((SimDuration::ZERO, src.0)));
+        scratch.begin(n);
+        scratch.set_dist(src, SimDuration::ZERO);
+        scratch
+            .heap
+            .push(std::cmp::Reverse((SimDuration::ZERO, src.0)));
 
-        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
-            if dist[u as usize] != Some(d) {
+        while let Some(std::cmp::Reverse((d, u))) = scratch.heap.pop() {
+            if scratch.dist(NodeId(u)) != Some(d) {
                 continue;
             }
             if u == dst.0 {
@@ -186,28 +273,27 @@ impl Topology {
                     continue;
                 }
                 let nd = d + link.transit(size);
-                let better = match dist[v.0 as usize] {
+                let better = match scratch.dist(v) {
                     None => true,
                     Some(old) => nd < old,
                 };
                 if better {
-                    dist[v.0 as usize] = Some(nd);
-                    prev[v.0 as usize] = Some(lid);
-                    heap.push(std::cmp::Reverse((nd, v.0)));
+                    scratch.set_dist(v, nd);
+                    scratch.set_prev(v, lid);
+                    scratch.heap.push(std::cmp::Reverse((nd, v.0)));
                 }
             }
         }
 
-        let transit = dist[dst.0 as usize]?;
-        let mut links = Vec::new();
+        let transit = scratch.dist(dst)?;
         let mut cur = dst;
         while cur != src {
-            let lid = prev[cur.0 as usize].expect("path reconstruction");
-            links.push(lid);
+            let lid = scratch.prev(cur).expect("path reconstruction");
+            scratch.links.push(lid);
             cur = self.link(lid).opposite(cur).expect("link endpoint");
         }
-        links.reverse();
-        Some(Route { links, transit })
+        scratch.links.reverse();
+        Some(transit)
     }
 
     /// Charges `size` bytes of accounting to each link along `route`.
@@ -218,16 +304,22 @@ impl Topology {
     }
 
     /// The spread (max - min) of node utilizations at `now`; a load-balance
-    /// quality measure used by experiment E5.
+    /// quality measure used by experiment E5. Computed in one streaming
+    /// pass, no intermediate collection.
     #[must_use]
     pub fn utilization_spread(&self, now: SimTime) -> f64 {
-        let utils: Vec<f64> = self.nodes.iter().map(|n| n.utilization(now)).collect();
-        if utils.is_empty() {
-            return 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for n in &self.nodes {
+            let u = n.utilization(now);
+            min = min.min(u);
+            max = max.max(u);
         }
-        let max = utils.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let min = utils.iter().cloned().fold(f64::INFINITY, f64::min);
-        max - min
+        if self.nodes.is_empty() {
+            0.0
+        } else {
+            max - min
+        }
     }
 
     /// Builds a fully-connected clique of `n` identical nodes — a handy
@@ -244,6 +336,184 @@ impl Topology {
             }
         }
         topo
+    }
+}
+
+/// Reusable working memory for [`Topology::route_with`].
+///
+/// The `dist`/`prev` arrays are *generation-stamped*: instead of clearing
+/// `O(n)` cells per query, every query bumps a stamp and a cell only counts
+/// as written when its stamp matches the current one. After the buffers
+/// have grown to the topology size, a routing query performs no heap
+/// allocation at all.
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    stamp: u64,
+    /// Tentative distance per node, valid when the stamp matches.
+    dist: Vec<(u64, SimDuration)>,
+    /// Predecessor link per node, valid when the stamp matches.
+    prev: Vec<(u64, LinkId)>,
+    heap: BinaryHeap<std::cmp::Reverse<(SimDuration, u32)>>,
+    /// Traversal-ordered path of the last successful query.
+    links: Vec<LinkId>,
+}
+
+impl RouteScratch {
+    /// Creates empty scratch buffers; they grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        RouteScratch::default()
+    }
+
+    /// Starts a new query over `n` nodes: bumps the stamp and grows the
+    /// buffers if the topology has grown since last time.
+    fn begin(&mut self, n: usize) {
+        self.stamp += 1;
+        if self.dist.len() < n {
+            self.dist.resize(n, (0, SimDuration::ZERO));
+            self.prev.resize(n, (0, LinkId(u32::MAX)));
+        }
+        self.heap.clear();
+    }
+
+    fn dist(&self, v: NodeId) -> Option<SimDuration> {
+        let (stamp, d) = self.dist[v.0 as usize];
+        (stamp == self.stamp).then_some(d)
+    }
+
+    fn set_dist(&mut self, v: NodeId, d: SimDuration) {
+        self.dist[v.0 as usize] = (self.stamp, d);
+    }
+
+    fn prev(&self, v: NodeId) -> Option<LinkId> {
+        let (stamp, l) = self.prev[v.0 as usize];
+        (stamp == self.stamp).then_some(l)
+    }
+
+    fn set_prev(&mut self, v: NodeId, l: LinkId) {
+        self.prev[v.0 as usize] = (self.stamp, l);
+    }
+}
+
+/// Counters describing how a [`RouteCache`] has been performing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that ran a fresh Dijkstra (and populated the cache).
+    pub misses: u64,
+    /// Times the whole cache was discarded because the epoch bumped.
+    pub invalidations: u64,
+}
+
+impl RouteCacheStats {
+    /// Hit ratio in `[0, 1]`; `0.0` before any query.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An epoch-invalidated memo of routing answers.
+///
+/// Entries are keyed by `(src, dst, size)` and shared as [`Arc<Route>`]s,
+/// so a cache hit clones a pointer, not a link list. Unreachable results
+/// are cached too (`None`), so a send storm against a partitioned node
+/// does not re-run Dijkstra per message. The whole cache is dropped the
+/// moment the topology's routing epoch moves past the one the entries
+/// were computed under — correctness never depends on partial
+/// invalidation being right.
+///
+/// # Examples
+///
+/// ```
+/// use aas_sim::network::{RouteCache, Topology};
+/// use aas_sim::time::SimDuration;
+///
+/// let topo = Topology::clique(4, 100.0, SimDuration::from_millis(1), 1e6);
+/// let ids: Vec<_> = topo.node_ids().collect();
+/// let mut cache = RouteCache::new(&topo);
+/// let first = cache.resolve(&topo, ids[0], ids[1], 100).unwrap();
+/// let second = cache.resolve(&topo, ids[0], ids[1], 100).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&first, &second));
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct RouteCache {
+    epoch: u64,
+    map: HashMap<(u32, u32, u64), Option<Arc<Route>>>,
+    scratch: RouteScratch,
+    stats: RouteCacheStats,
+}
+
+impl RouteCache {
+    /// Creates an empty cache synchronized to `topo`'s current epoch.
+    #[must_use]
+    pub fn new(topo: &Topology) -> Self {
+        RouteCache {
+            epoch: topo.epoch(),
+            map: HashMap::new(),
+            scratch: RouteScratch::default(),
+            stats: RouteCacheStats::default(),
+        }
+    }
+
+    /// Answers a routing query, from the cache when the epoch still
+    /// matches, otherwise by a fresh Dijkstra whose result (including
+    /// `None` for unreachable) is memoized.
+    pub fn resolve(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        size: u64,
+    ) -> Option<Arc<Route>> {
+        if self.epoch != topo.epoch() {
+            // `clear` keeps the map's capacity, so repopulating after a
+            // fault does not re-grow the table.
+            self.map.clear();
+            self.epoch = topo.epoch();
+            self.stats.invalidations += 1;
+        }
+        let key = (src.0, dst.0, size);
+        if let Some(cached) = self.map.get(&key) {
+            self.stats.hits += 1;
+            return cached.clone();
+        }
+        self.stats.misses += 1;
+        let computed = topo
+            .dijkstra_into(src, dst, size, &mut self.scratch)
+            .map(|transit| {
+                Arc::new(Route {
+                    links: self.scratch.links.clone(),
+                    transit,
+                })
+            });
+        self.map.insert(key, computed.clone());
+        computed
+    }
+
+    /// Cache performance counters.
+    #[must_use]
+    pub fn stats(&self) -> RouteCacheStats {
+        self.stats
+    }
+
+    /// Number of memoized entries (under the current epoch).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is memoized.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 }
 
@@ -274,7 +544,7 @@ mod tests {
     #[test]
     fn routes_around_dead_links() {
         let (mut t, a, _b, c) = line3();
-        t.link_mut(LinkId(0)).set_up(false); // kill a--b
+        t.set_link_up(LinkId(0), false); // kill a--b
         let r = t.route(a, c, 0).unwrap();
         assert_eq!(r.links, vec![LinkId(2)]);
         assert_eq!(r.transit, SimDuration::from_millis(50));
@@ -283,7 +553,7 @@ mod tests {
     #[test]
     fn routes_around_dead_nodes() {
         let (mut t, a, b, c) = line3();
-        t.node_mut(b).set_up(false);
+        t.set_node_up(b, false);
         let r = t.route(a, c, 0).unwrap();
         assert_eq!(r.links, vec![LinkId(2)]);
     }
@@ -291,15 +561,15 @@ mod tests {
     #[test]
     fn unreachable_returns_none() {
         let (mut t, a, _b, c) = line3();
-        t.link_mut(LinkId(0)).set_up(false);
-        t.link_mut(LinkId(2)).set_up(false);
+        t.set_link_up(LinkId(0), false);
+        t.set_link_up(LinkId(2), false);
         assert!(t.route(a, c, 0).is_none());
     }
 
     #[test]
     fn dead_endpoint_returns_none() {
         let (mut t, a, _b, c) = line3();
-        t.node_mut(c).set_up(false);
+        t.set_node_up(c, false);
         assert!(t.route(a, c, 0).is_none());
         assert!(t.route(c, a, 0).is_none());
     }

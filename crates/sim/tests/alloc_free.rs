@@ -1,0 +1,94 @@
+//! Proves the kernel's cache-hit send path is allocation-free.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! phase (route cache populated, event queue and channel buffers at their
+//! steady-state capacity) a send+step loop must perform exactly zero heap
+//! allocations.
+//!
+//! This file deliberately holds a single `#[test]`: the allocation counter
+//! is process-global, and a concurrently running test would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aas_sim::kernel::{Fired, Kernel};
+use aas_sim::network::Topology;
+use aas_sim::time::SimDuration;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn cache_hit_send_path_allocates_nothing() {
+    let topo = Topology::clique(16, 100.0, SimDuration::from_millis(2), 1e7);
+    let mut k: Kernel<u64> = Kernel::new(topo, 1401);
+    let nodes: Vec<_> = k.topology().node_ids().collect();
+    let channels: Vec<_> = (0..nodes.len())
+        .map(|i| k.open_channel(nodes[i], nodes[(i + 5) % nodes.len()]))
+        .collect();
+
+    // Warm-up: populate the route cache for every (pair, size) the loop
+    // uses, and let the event queue / channel buffers reach capacity.
+    let run = |k: &mut Kernel<u64>, msgs: u64| {
+        let mut delivered = 0u64;
+        for i in 0..msgs {
+            let ch = channels[(i % channels.len() as u64) as usize];
+            let size = if (i / channels.len() as u64).is_multiple_of(2) {
+                256
+            } else {
+                4096
+            };
+            k.send(ch, i, size);
+            if let Some((_, Fired::Delivered { .. })) = k.step() {
+                delivered += 1;
+            }
+        }
+        while let Some((_, fired)) = k.step() {
+            if matches!(fired, Fired::Delivered { .. }) {
+                delivered += 1;
+            }
+        }
+        delivered
+    };
+    let warm = run(&mut k, 4096);
+    assert_eq!(warm, 4096, "warm-up must deliver everything");
+
+    // Measured phase: every route resolves from the cache, so the loop
+    // must not touch the allocator at all.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let measured = run(&mut k, 10_000);
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(measured, 10_000, "measured phase must deliver everything");
+    assert_eq!(
+        delta, 0,
+        "cache-hit send path performed {delta} heap allocations over 10k sends"
+    );
+
+    let stats = k.route_cache_stats();
+    assert_eq!(
+        stats.misses,
+        channels.len() as u64 * 2,
+        "one miss per (channel, size) pair, everything else hits"
+    );
+    assert!(stats.hits >= 10_000);
+}

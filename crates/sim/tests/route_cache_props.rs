@@ -1,0 +1,191 @@
+//! Property tests for the epoch-invalidated route cache.
+//!
+//! 256 seeded random schedules interleave message sends, node/link flaps
+//! (both via the topology mutators and via injected fault events), and
+//! topology growth. After every schedule step a batch of cache-served
+//! routes is compared against a fresh Dijkstra on the same topology, and
+//! every hop of a cache-served route is checked to be alive — a cached
+//! route must never survive a routing-affecting mutation.
+
+use aas_sim::fault::FaultSchedule;
+use aas_sim::kernel::Kernel;
+use aas_sim::link::{LinkId, LinkSpec};
+use aas_sim::network::Topology;
+use aas_sim::node::{NodeId, NodeSpec};
+use aas_sim::rng::SimRng;
+use aas_sim::time::SimDuration;
+
+/// 8-node ring with two chords: enough alternative paths that flaps
+/// actually change routes instead of just partitioning the graph.
+fn base_topology() -> Topology {
+    let mut t = Topology::new();
+    let ids: Vec<NodeId> = (0..8)
+        .map(|i| t.add_node(NodeSpec::new(format!("n{i}"), 10.0)))
+        .collect();
+    for i in 0..8 {
+        t.add_link(LinkSpec::new(
+            ids[i],
+            ids[(i + 1) % 8],
+            SimDuration::from_millis(2),
+            1e7,
+        ));
+    }
+    t.add_link(LinkSpec::new(
+        ids[0],
+        ids[4],
+        SimDuration::from_millis(5),
+        1e7,
+    ));
+    t.add_link(LinkSpec::new(
+        ids[2],
+        ids[6],
+        SimDuration::from_millis(5),
+        1e7,
+    ));
+    t
+}
+
+const SIZES: [u64; 3] = [64, 4096, 262_144];
+
+/// Compares the cache-served route against a fresh Dijkstra and checks
+/// hop liveness. Panics with the seed/step on any divergence.
+fn check_probes(k: &mut Kernel<u32>, rng: &mut SimRng, seed: u64, step: usize) {
+    for _ in 0..4 {
+        let n = k.topology().node_count() as u64;
+        let src = NodeId(rng.below(n) as u32);
+        let dst = NodeId(rng.below(n) as u32);
+        let size = SIZES[rng.below(SIZES.len() as u64) as usize];
+        let cached = k.route(src, dst, size);
+        let fresh = k.topology().route(src, dst, size);
+        match (cached, fresh) {
+            (None, None) => {}
+            (Some(c), Some(f)) => {
+                assert_eq!(
+                    c.links, f.links,
+                    "seed {seed} step {step}: cached path {src:?}->{dst:?} differs from fresh"
+                );
+                assert_eq!(
+                    c.transit, f.transit,
+                    "seed {seed} step {step}: cached transit {src:?}->{dst:?} differs from fresh"
+                );
+                // No stale hops: every link and both endpoints of every
+                // link on a served route must currently be up.
+                let topo = k.topology();
+                assert!(topo.node(src).is_up() && topo.node(dst).is_up());
+                for &lid in &c.links {
+                    let link = topo.link(lid);
+                    assert!(
+                        link.is_up(),
+                        "seed {seed} step {step}: served route uses down link {lid:?}"
+                    );
+                    assert!(
+                        topo.node(link.spec().a).is_up() && topo.node(link.spec().b).is_up(),
+                        "seed {seed} step {step}: served route crosses a down node"
+                    );
+                }
+            }
+            (c, f) => panic!(
+                "seed {seed} step {step}: cache and fresh Dijkstra disagree on \
+                 reachability {src:?}->{dst:?}: cached={:?} fresh={:?}",
+                c.map(|r| r.transit),
+                f.map(|r| r.transit)
+            ),
+        }
+    }
+}
+
+fn run_schedule(seed: u64) {
+    let mut rng = SimRng::seed_from(seed ^ 0xE14);
+    let mut k: Kernel<u32> = Kernel::new(base_topology(), seed);
+    let mut channels = Vec::new();
+    for _ in 0..4 {
+        let n = k.topology().node_count() as u64;
+        let src = NodeId(rng.below(n) as u32);
+        let dst = NodeId(rng.below(n) as u32);
+        channels.push(k.open_channel(src, dst));
+    }
+    for step in 0..120 {
+        match rng.below(12) {
+            0 | 1 => {
+                // Node flap via the epoch-bumping topology mutator.
+                let n = k.topology().node_count() as u64;
+                let id = NodeId(rng.below(n) as u32);
+                let up = rng.chance(0.5);
+                k.topology_mut().set_node_up(id, up);
+            }
+            2 | 3 => {
+                // Link flap via the epoch-bumping topology mutator.
+                let m = k.topology().link_count() as u64;
+                let id = LinkId(rng.below(m) as u32);
+                let up = rng.chance(0.5);
+                k.topology_mut().set_link_up(id, up);
+            }
+            4 => {
+                // Topology growth: new node wired to two existing ones.
+                let n = k.topology().node_count() as u64;
+                let peer_a = NodeId(rng.below(n) as u32);
+                let peer_b = NodeId(rng.below(n) as u32);
+                let id = k
+                    .topology_mut()
+                    .add_node(NodeSpec::new(format!("g{step}"), 5.0));
+                k.topology_mut().add_link(LinkSpec::new(
+                    id,
+                    peer_a,
+                    SimDuration::from_millis(3),
+                    1e7,
+                ));
+                if peer_b != peer_a {
+                    k.topology_mut().add_link(LinkSpec::new(
+                        id,
+                        peer_b,
+                        SimDuration::from_millis(4),
+                        1e7,
+                    ));
+                }
+            }
+            5 => {
+                // Flap through the kernel's fault pipeline as well, so the
+                // epoch rule is exercised from `apply_fault` too.
+                let n = k.topology().node_count() as u64;
+                let id = NodeId(rng.below(n) as u32);
+                let from = k.now() + SimDuration::from_micros(1);
+                let mut sched = FaultSchedule::new();
+                sched.node_outage(id, from, from + SimDuration::from_millis(1));
+                k.inject_faults(sched);
+                // Drain so the outage (and recovery) actually apply.
+                let horizon = k.now() + SimDuration::from_millis(5);
+                while k.next_event_time().is_some_and(|t| t <= horizon) {
+                    k.step();
+                }
+            }
+            _ => {
+                // Send a burst over a random channel and pump the kernel.
+                let ch = channels[rng.below(channels.len() as u64) as usize];
+                for i in 0..4 {
+                    let size = SIZES[rng.below(SIZES.len() as u64) as usize];
+                    k.send(ch, step as u32 * 4 + i, size);
+                }
+                for _ in 0..6 {
+                    if k.step().is_none() {
+                        break;
+                    }
+                }
+            }
+        }
+        check_probes(&mut k, &mut rng, seed, step);
+    }
+    // Every schedule must actually exercise the cache on both sides.
+    let stats = k.route_cache_stats();
+    assert!(stats.misses > 0, "seed {seed}: no cache misses recorded");
+    assert!(
+        stats.hits + stats.misses >= 480,
+        "seed {seed}: probes not reaching the cache"
+    );
+}
+
+#[test]
+fn cache_matches_fresh_dijkstra_across_256_schedules() {
+    for seed in 0..256 {
+        run_schedule(seed);
+    }
+}
