@@ -1,0 +1,33 @@
+//! E15 bench target: prints the sharded-kernel scaling table, writes the
+//! `BENCH_e15.json` artifact, and micro-measures the barrier primitives —
+//! one full drain at K=1 vs K=4 on a small steady workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let msgs = aas_bench::e15::msgs_per_cell();
+    let cells = aas_bench::e15::cells();
+    println!("{}", aas_bench::e15::render(&cells, msgs));
+    // Cargo runs bench binaries with cwd = the package root, so the
+    // artifact lands at crates/bench/BENCH_e15.json.
+    let json = aas_bench::e15::to_json(&cells);
+    if let Err(e) = std::fs::write("BENCH_e15.json", &json) {
+        eprintln!("could not write BENCH_e15.json: {e}");
+    }
+
+    for k in [1u32, 4] {
+        c.bench_function(&format!("e15/drain_clique16_k{k}"), |b| {
+            b.iter(|| {
+                black_box(aas_bench::e15::run_cell(
+                    "clique16",
+                    false,
+                    black_box(k),
+                    2_000,
+                ))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -43,12 +43,17 @@
 //! - [`trace`] — resource-fluctuation signals (rush hour, noise, steps).
 //! - [`fault`] — scheduled node crashes and link outages.
 //! - [`kernel`] — the [`kernel::Kernel`] tying it all together.
+//! - [`shard`] — shard partitioning, deterministic event keys, per-shard
+//!   event loops.
+//! - [`coordinator`] — the parallel [`coordinator::ShardedKernel`] with
+//!   deterministic epoch barriers.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
 pub mod channel;
+pub mod coordinator;
 pub mod event;
 pub mod fault;
 pub mod kernel;
@@ -56,16 +61,19 @@ pub mod link;
 pub mod network;
 pub mod node;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use channel::{ChannelId, ChannelStats, DropReason};
+pub use coordinator::{ExecMode, ShardedKernel, ShardedStats};
 pub use fault::{FaultKind, FaultSchedule};
 pub use kernel::{Fired, Kernel, KernelCounter, SendOutcome};
 pub use link::{LinkId, LinkSpec};
 pub use network::{Route, RouteCache, RouteCacheStats, RouteScratch, Topology};
 pub use node::{NodeId, NodeSpec};
 pub use rng::SimRng;
+pub use shard::{EventKey, MergedEvent, ShardFired, ShardId, ShardMap};
 pub use time::{SimDuration, SimTime};
 pub use trace::ResourceTrace;

@@ -189,3 +189,112 @@ fn cache_matches_fresh_dijkstra_across_256_schedules() {
         run_schedule(seed);
     }
 }
+
+// ---------------------------------------------------------------------
+// Per-shard caches (sharded kernel): every shard keeps its own route
+// cache, but all of them validate against the single shared topology
+// epoch — so one routing-affecting mutation, applied in one sync step,
+// must invalidate the cache of *every* shard, not just the shard whose
+// traffic triggered it.
+// ---------------------------------------------------------------------
+
+mod sharded {
+    use super::base_topology;
+    use aas_sim::coordinator::{ExecMode, ShardedKernel};
+    use aas_sim::fault::FaultKind;
+    use aas_sim::link::LinkId;
+    use aas_sim::node::NodeId;
+    use aas_sim::shard::ShardId;
+    use aas_sim::time::SimTime;
+
+    /// Opens one channel sourced on every node so all four shards resolve
+    /// routes, then checks warm-hit behaviour, a fault-driven epoch bump,
+    /// and the post-bump re-resolution on each shard independently.
+    #[test]
+    fn epoch_bump_on_one_shard_invalidates_every_shards_cache() {
+        let mut k: ShardedKernel<u32> =
+            ShardedKernel::with_mode(base_topology(), 4, ExecMode::Threads);
+        let chans: Vec<_> = (0..8u32)
+            .map(|i| k.open_channel(NodeId(i), NodeId((i + 2) % 8)))
+            .collect();
+
+        // Warm phase: two rounds per channel — first resolve misses, the
+        // second must hit the (still-valid) per-shard cache.
+        for (i, &ch) in chans.iter().enumerate() {
+            k.send_at(SimTime::from_millis(1), ch, i as u32, 64);
+            k.send_at(SimTime::from_millis(8), ch, 100 + i as u32, 64);
+        }
+        k.run_until(SimTime::from_millis(20));
+        for s in 0..4 {
+            let st = k.shard_route_cache_stats(ShardId(s));
+            assert!(st.misses >= 1, "shard {s} never resolved: {st:?}");
+            assert!(st.hits >= 1, "shard {s} warm send missed: {st:?}");
+            assert_eq!(st.invalidations, 0, "shard {s} invalidated early: {st:?}");
+        }
+
+        // One fault, applied in a single coordinator sync step, bumps the
+        // shared topology's routing epoch. LinkId(0) touches only nodes
+        // 0 and 1 (shards 0 and 1) — yet shards 2 and 3 must also drop
+        // their cached routes when they next resolve.
+        k.fault_at(SimTime::from_millis(25), FaultKind::LinkDown(LinkId(0)));
+        for (i, &ch) in chans.iter().enumerate() {
+            k.send_at(SimTime::from_millis(30), ch, 200 + i as u32, 64);
+        }
+        k.drain();
+        for s in 0..4 {
+            let st = k.shard_route_cache_stats(ShardId(s));
+            assert!(
+                st.invalidations >= 1,
+                "shard {s} kept a stale cache across the epoch bump: {st:?}"
+            );
+        }
+        // The aggregate view sums the per-shard stats.
+        let total = k.route_cache_stats();
+        let summed = (0..4)
+            .map(|s| k.shard_route_cache_stats(ShardId(s)))
+            .fold((0u64, 0u64, 0u64), |a, s| {
+                (a.0 + s.hits, a.1 + s.misses, a.2 + s.invalidations)
+            });
+        assert_eq!(
+            (total.hits, total.misses, total.invalidations),
+            summed,
+            "aggregate stats must be the sum of per-shard stats"
+        );
+    }
+
+    /// Post-bump routing is *correct*, not just invalidated: with the
+    /// direct link down, traffic between its endpoints must detour and
+    /// the sharded run must agree byte-for-byte with the serial kernel.
+    #[test]
+    fn post_bump_routes_match_serial_kernel() {
+        let run = |shards: u32, mode: ExecMode| {
+            let mut k: ShardedKernel<u32> = ShardedKernel::with_mode(base_topology(), shards, mode);
+            let ch = k.open_channel(NodeId(0), NodeId(1));
+            let back = k.open_channel(NodeId(5), NodeId(2));
+            k.send_at(SimTime::from_millis(1), ch, 1, 4096);
+            k.send_at(SimTime::from_millis(1), back, 2, 4096);
+            k.fault_at(SimTime::from_millis(10), FaultKind::LinkDown(LinkId(0)));
+            k.send_at(SimTime::from_millis(20), ch, 3, 4096);
+            k.send_at(SimTime::from_millis(20), back, 4, 4096);
+            let log: Vec<String> = k
+                .drain()
+                .iter()
+                .map(|e| format!("{} {} {:?}", e.at, e.key, e.what))
+                .collect();
+            let bytes: Vec<u64> = (0..10).map(|l| k.link_bytes(LinkId(l))).collect();
+            (log, bytes)
+        };
+        let serial = run(1, ExecMode::Inline);
+        let sharded = run(4, ExecMode::Threads);
+        assert_eq!(
+            serial, sharded,
+            "post-bump detour differs between K=1 and K=4"
+        );
+        // The downed link really was avoided after the bump: only the two
+        // pre-fault messages can have crossed it.
+        assert!(
+            serial.1[0] <= 2 * (4096 + 64),
+            "stale route used the downed link"
+        );
+    }
+}
