@@ -1,0 +1,27 @@
+//! E16 bench target: prints the planet-scale routing table (flat
+//! epoch-flush vs hierarchical partial invalidation on generated tiered
+//! networks), writes the `BENCH_e16.json` artifact, and micro-measures
+//! one full 1k-node cell per router.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cells = aas_bench::e16::cells();
+    println!("{}", aas_bench::e16::render(&cells));
+    // Cargo runs bench binaries with cwd = the package root, so the
+    // artifact lands at crates/bench/BENCH_e16.json.
+    let json = aas_bench::e16::to_json(&cells);
+    if let Err(e) = std::fs::write("BENCH_e16.json", &json) {
+        eprintln!("could not write BENCH_e16.json: {e}");
+    }
+
+    for hier in [false, true] {
+        let label = if hier { "hier" } else { "flat" };
+        c.bench_function(&format!("e16/storm_1k_{label}"), |b| {
+            b.iter(|| black_box(aas_bench::e16::run_cell(1_000, black_box(hier), 5_000)))
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

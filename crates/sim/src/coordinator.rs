@@ -35,6 +35,7 @@
 
 use crate::channel::{ChannelId, ChannelStats};
 use crate::fault::{FaultKind, FaultSchedule};
+use crate::hier::HierStats;
 use crate::kernel::KernelCounter;
 use crate::link::LinkId;
 use crate::network::{RouteCacheStats, Topology};
@@ -925,8 +926,40 @@ impl<M: Send + 'static> ShardedKernel<M> {
             total.hits += s.hits;
             total.misses += s.misses;
             total.invalidations += s.invalidations;
+            total.settled += s.settled;
         }
         total
+    }
+
+    /// Switches every shard to hierarchical routing (a private
+    /// [`HierRouter`](crate::hier::HierRouter) per shard, all enabled
+    /// together so routing policy does not depend on the shard count).
+    /// Call before driving traffic; calling again resets the routers.
+    pub fn enable_hier_routing(&mut self) {
+        for m in &self.shared.shards {
+            m.lock().expect("shard lock").hier = Some(crate::hier::HierRouter::new());
+        }
+    }
+
+    /// Hierarchical-router counters summed across shards; `None` until
+    /// [`ShardedKernel::enable_hier_routing`].
+    #[must_use]
+    pub fn hier_stats(&self) -> Option<HierStats> {
+        let mut total = HierStats::default();
+        let mut any = false;
+        for m in &self.shared.shards {
+            if let Some(s) = m.lock().expect("shard lock").hier_stats() {
+                any = true;
+                total.hits += s.hits;
+                total.misses += s.misses;
+                total.stale_evictions += s.stale_evictions;
+                total.cell_rebuilds += s.cell_rebuilds;
+                total.overlay_queries += s.overlay_queries;
+                total.full_fallbacks += s.full_fallbacks;
+                total.settled += s.settled;
+            }
+        }
+        any.then_some(total)
     }
 
     /// One shard's private route-cache counters.

@@ -8,6 +8,7 @@
 use crate::channel::{Channel, ChannelId, ChannelStats, DropReason, HeldMessage};
 use crate::event::EventQueue;
 use crate::fault::{FaultKind, FaultSchedule};
+use crate::hier::{HierRouter, HierStats};
 use crate::network::{Route, RouteCache, RouteCacheStats, Topology};
 use crate::node::NodeId;
 use crate::rng::SimRng;
@@ -166,6 +167,9 @@ pub struct Kernel<M> {
     /// [`Kernel::counters`].
     counters: [u64; KernelCounter::COUNT],
     route_cache: RouteCache,
+    /// Hierarchical router; when set, routing goes through it instead of
+    /// the flat epoch-flushed cache.
+    hier: Option<HierRouter>,
     tracer: Tracer,
     next_timer_tag: u64,
 }
@@ -183,6 +187,7 @@ impl<M> Kernel<M> {
             rng: SimRng::seed_from(seed),
             counters: [0; KernelCounter::COUNT],
             route_cache,
+            hier: None,
             tracer: Tracer::new(),
             next_timer_tag: 0,
         }
@@ -235,16 +240,39 @@ impl<M> Kernel<M> {
     }
 
     /// Resolves the route a send on `(src, dst, size)` would take right
-    /// now, through the kernel's epoch-invalidated [`RouteCache`]. Exposed
-    /// so tests and benches can audit exactly what the send path uses.
+    /// now, through the kernel's active router — the hierarchical one when
+    /// [`Kernel::enable_hier_routing`] has been called, the flat
+    /// epoch-invalidated [`RouteCache`] otherwise. Exposed so tests and
+    /// benches can audit exactly what the send path uses.
     pub fn route(&mut self, src: NodeId, dst: NodeId, size: u64) -> Option<Arc<Route>> {
-        self.route_cache.resolve(&self.topology, src, dst, size)
+        match &mut self.hier {
+            Some(h) => h.resolve(&self.topology, src, dst, size),
+            None => self.route_cache.resolve(&self.topology, src, dst, size),
+        }
     }
 
     /// Route-cache performance counters (hits, misses, invalidations).
+    /// Stays at zero after [`Kernel::enable_hier_routing`] — see
+    /// [`Kernel::hier_stats`] then.
     #[must_use]
     pub fn route_cache_stats(&self) -> RouteCacheStats {
         self.route_cache.stats()
+    }
+
+    /// Switches routing to a [`HierRouter`] with region-scoped partial
+    /// invalidation. Requires every node to carry a region assignment
+    /// (see [`Topology::set_node_region`]) to actually route
+    /// hierarchically; unassigned topologies fall back to flat searches
+    /// per query. Calling this again resets the router.
+    pub fn enable_hier_routing(&mut self) {
+        self.hier = Some(HierRouter::new());
+    }
+
+    /// Hierarchical-router counters; `None` until
+    /// [`Kernel::enable_hier_routing`].
+    #[must_use]
+    pub fn hier_stats(&self) -> Option<HierStats> {
+        self.hier.as_ref().map(HierRouter::stats)
     }
 
     /// Replaces the kernel's tracer, typically with a shared workspace
@@ -377,7 +405,7 @@ impl<M> Kernel<M> {
             self.bump(KernelCounter::Dropped);
             return SendOutcome::Dropped(DropReason::ChannelClosed);
         }
-        let Some(route) = self.route_cache.resolve(&self.topology, src, dst, size) else {
+        let Some(route) = self.route(src, dst, size) else {
             self.channel_mut(ch).stats.dropped += 1;
             self.bump(KernelCounter::Dropped);
             return SendOutcome::Dropped(DropReason::Unreachable);

@@ -42,6 +42,8 @@
 //! - [`channel`] — FIFO channels with blocking (reconfiguration support).
 //! - [`trace`] — resource-fluctuation signals (rush hour, noise, steps).
 //! - [`fault`] — scheduled node crashes and link outages.
+//! - [`hier`] — hierarchical [`hier::HierRouter`] with region-scoped
+//!   partial cache invalidation.
 //! - [`kernel`] — the [`kernel::Kernel`] tying it all together.
 //! - [`shard`] — shard partitioning, deterministic event keys, per-shard
 //!   event loops.
@@ -56,6 +58,7 @@ pub mod channel;
 pub mod coordinator;
 pub mod event;
 pub mod fault;
+pub mod hier;
 pub mod kernel;
 pub mod link;
 pub mod network;
@@ -69,9 +72,12 @@ pub mod trace;
 pub use channel::{ChannelId, ChannelStats, DropReason};
 pub use coordinator::{ExecMode, ShardedKernel, ShardedStats};
 pub use fault::{FaultKind, FaultSchedule};
+pub use hier::{HierRouter, HierStats};
 pub use kernel::{Fired, Kernel, KernelCounter, SendOutcome};
 pub use link::{LinkId, LinkSpec};
-pub use network::{Route, RouteCache, RouteCacheStats, RouteScratch, Topology};
+pub use network::{
+    DegreeSummary, RegionId, Route, RouteCache, RouteCacheStats, RouteScratch, Topology,
+};
 pub use node::{NodeId, NodeSpec};
 pub use rng::SimRng;
 pub use shard::{EventKey, MergedEvent, ShardFired, ShardId, ShardMap};

@@ -14,8 +14,30 @@
 use crate::link::{Link, LinkId, LinkSpec};
 use crate::node::{Node, NodeId, NodeSpec};
 use crate::time::{SimDuration, SimTime};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
+
+/// Identifier of a routing region (a metro, a motif instance, a cell of a
+/// partition). Regions scope epoch invalidation: a liveness flap inside a
+/// region bumps only that region's epoch, so hierarchical route caches can
+/// evict partially instead of flushing wholesale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u32);
+
+/// Marker for a node with no region assigned.
+const NO_REGION: u32 = u32::MAX;
+
+/// Min/max/mean node degree of a topology; used by generator invariant
+/// tests and the E16 report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeSummary {
+    /// Smallest node degree.
+    pub min: usize,
+    /// Largest node degree.
+    pub max: usize,
+    /// Mean node degree.
+    pub mean: f64,
+}
 
 /// A routed path: the links traversed and the total transit time for the
 /// queried message size.
@@ -55,6 +77,21 @@ pub struct Topology {
     /// Routing epoch: bumps on any mutation that can change a routing
     /// answer. Caches key their validity on it.
     epoch: u64,
+    /// Region of each node (`NO_REGION` when unassigned), parallel to
+    /// `nodes`.
+    node_regions: Vec<u32>,
+    /// Per-region epochs: bump when a mutation touches the region. A
+    /// hierarchical cache keyed on a region's epoch evicts only entries
+    /// that cross the mutated region.
+    region_epochs: Vec<u64>,
+    /// Bumps on every mutation that can *create or improve* a path
+    /// (node/link recovery, node/link addition). Degradations (taking a
+    /// node or link down) leave it alone — they can only remove paths, so
+    /// cached shortest routes that avoid the mutated region stay shortest.
+    improve_epoch: u64,
+    /// Bumps on every region (re)assignment; hierarchical routers rebuild
+    /// their border structure when it moves.
+    assign_epoch: u64,
 }
 
 impl Topology {
@@ -73,12 +110,15 @@ impl Topology {
         self.epoch
     }
 
-    /// Adds a node, returning its id.
+    /// Adds a node, returning its id. The node starts with no region; see
+    /// [`Topology::set_node_region`].
     pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node::new(id, spec));
         self.adjacency.push(Vec::new());
+        self.node_regions.push(NO_REGION);
         self.epoch += 1;
+        self.improve_epoch += 1;
         id
     }
 
@@ -95,8 +135,11 @@ impl Topology {
         let id = LinkId(self.links.len() as u32);
         self.adjacency[spec.a.0 as usize].push(id);
         self.adjacency[spec.b.0 as usize].push(id);
+        self.bump_region_of(spec.a);
+        self.bump_region_of(spec.b);
         self.links.push(Link::new(id, spec));
         self.epoch += 1;
+        self.improve_epoch += 1;
         id
     }
 
@@ -113,6 +156,11 @@ impl Topology {
         if node.is_up() != up {
             node.set_up(up);
             self.epoch += 1;
+            self.bump_region_of(id);
+            if up {
+                // A recovery can create new shortest paths anywhere.
+                self.improve_epoch += 1;
+            }
         }
     }
 
@@ -126,8 +174,117 @@ impl Topology {
         let link = &mut self.links[id.0 as usize];
         if link.is_up() != up {
             link.set_up(up);
+            let (a, b) = (link.spec().a, link.spec().b);
             self.epoch += 1;
+            self.bump_region_of(a);
+            self.bump_region_of(b);
+            if up {
+                // A recovery can create new shortest paths anywhere.
+                self.improve_epoch += 1;
+            }
         }
+    }
+
+    /// Bumps the epoch of `node`'s region, if it has one.
+    fn bump_region_of(&mut self, node: NodeId) {
+        let r = self.node_regions[node.0 as usize];
+        if r != NO_REGION {
+            self.region_epochs[r as usize] += 1;
+        }
+    }
+
+    // ----- regions ----------------------------------------------------
+
+    /// Assigns `node` to `region`, growing the region table as needed.
+    ///
+    /// Region membership feeds hierarchical routing, so reassignment
+    /// conservatively bumps *every* region epoch (cached routes stamp the
+    /// regions they cross under the old assignment) plus the global and
+    /// improve epochs. Assignment is expected at build time — topology
+    /// generators call this once per node before any traffic flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_node_region(&mut self, node: NodeId, region: RegionId) {
+        assert!((node.0 as usize) < self.nodes.len(), "no such node");
+        if self.region_epochs.len() <= region.0 as usize {
+            self.region_epochs.resize(region.0 as usize + 1, 0);
+        }
+        self.node_regions[node.0 as usize] = region.0;
+        self.epoch += 1;
+        self.improve_epoch += 1;
+        self.assign_epoch += 1;
+        for e in &mut self.region_epochs {
+            *e += 1;
+        }
+    }
+
+    /// Stamp of the region assignment; bumps on every
+    /// [`Topology::set_node_region`] call. Hierarchical routers compare it
+    /// to know when their border/region structure is stale.
+    #[must_use]
+    pub fn region_assignment_epoch(&self) -> u64 {
+        self.assign_epoch
+    }
+
+    /// The region of `node`, or `None` if it was never assigned one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn region_of(&self, node: NodeId) -> Option<RegionId> {
+        let r = self.node_regions[node.0 as usize];
+        (r != NO_REGION).then_some(RegionId(r))
+    }
+
+    /// Number of regions (the highest assigned region id plus one; zero
+    /// when no node has a region).
+    #[must_use]
+    pub fn region_count(&self) -> u32 {
+        self.region_epochs.len() as u32
+    }
+
+    /// True when every node has a region — the precondition for
+    /// hierarchical routing to skip its flat fallback.
+    #[must_use]
+    pub fn regions_fully_assigned(&self) -> bool {
+        !self.node_regions.is_empty() && self.node_regions.iter().all(|&r| r != NO_REGION)
+    }
+
+    /// The epoch of one region: bumps whenever a mutation touches the
+    /// region (a node in it flaps, a link with an endpoint in it flaps or
+    /// is added, or region membership changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    #[must_use]
+    pub fn region_epoch(&self, region: RegionId) -> u64 {
+        self.region_epochs[region.0 as usize]
+    }
+
+    /// The improve epoch: bumps on every mutation that can create or
+    /// shorten a path (recovery or addition), and never on pure
+    /// degradation. See the field docs for why caches can keep serving
+    /// routes that avoid a degraded region.
+    #[must_use]
+    pub fn improve_epoch(&self) -> u64 {
+        self.improve_epoch
+    }
+
+    /// Node count per region (`region_sizes()[r]` is region `r`'s size).
+    /// Unassigned nodes are not counted anywhere.
+    #[must_use]
+    pub fn region_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.region_epochs.len()];
+        for &r in &self.node_regions {
+            if r != NO_REGION {
+                sizes[r as usize] += 1;
+            }
+        }
+        sizes
     }
 
     /// Number of nodes.
@@ -195,6 +352,115 @@ impl Topology {
         (0..self.nodes.len()).map(|i| NodeId(i as u32))
     }
 
+    /// The links incident to `node`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn links_of(&self, node: NodeId) -> &[LinkId] {
+        &self.adjacency[node.0 as usize]
+    }
+
+    // ----- graph statistics -------------------------------------------
+
+    /// Degree (incident link count, liveness ignored) of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.0 as usize].len()
+    }
+
+    /// Min/max/mean degree over all nodes; zeroes on an empty topology.
+    #[must_use]
+    pub fn degree_summary(&self) -> DegreeSummary {
+        if self.nodes.is_empty() {
+            return DegreeSummary {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+            };
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut total = 0usize;
+        for adj in &self.adjacency {
+            min = min.min(adj.len());
+            max = max.max(adj.len());
+            total += adj.len();
+        }
+        DegreeSummary {
+            min,
+            max,
+            mean: total as f64 / self.nodes.len() as f64,
+        }
+    }
+
+    /// Breadth-first hop distances over the *live* subgraph from `from`
+    /// (`usize::MAX` = unreachable). The workhorse behind
+    /// [`Topology::is_connected`] and [`Topology::diameter_estimate`].
+    fn bfs_hops(&self, from: NodeId) -> Vec<usize> {
+        let mut hops = vec![usize::MAX; self.nodes.len()];
+        if !self.node(from).is_up() {
+            return hops;
+        }
+        hops[from.0 as usize] = 0;
+        let mut queue = VecDeque::from([from]);
+        while let Some(u) = queue.pop_front() {
+            let d = hops[u.0 as usize];
+            for &lid in &self.adjacency[u.0 as usize] {
+                let link = self.link(lid);
+                if !link.is_up() {
+                    continue;
+                }
+                let Some(v) = link.opposite(u) else { continue };
+                if self.node(v).is_up() && hops[v.0 as usize] == usize::MAX {
+                    hops[v.0 as usize] = d + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        hops
+    }
+
+    /// True when every live node can reach every other live node over
+    /// live links. Vacuously true with fewer than two live nodes.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let Some(start) = self.nodes.iter().find(|n| n.is_up()) else {
+            return true;
+        };
+        let hops = self.bfs_hops(start.id());
+        self.nodes
+            .iter()
+            .all(|n| !n.is_up() || hops[n.id().0 as usize] != usize::MAX)
+    }
+
+    /// Hop-count diameter estimate of the live subgraph by double-sweep
+    /// BFS: a lower bound on the true diameter, exact on trees and tight
+    /// on the generated tiered/motif families. Returns 0 when no pair of
+    /// live nodes is connected.
+    #[must_use]
+    pub fn diameter_estimate(&self) -> usize {
+        let Some(start) = self.nodes.iter().find(|n| n.is_up()) else {
+            return 0;
+        };
+        let far = |hops: &[usize]| {
+            hops.iter()
+                .enumerate()
+                .filter(|&(_, &h)| h != usize::MAX)
+                .max_by_key(|&(i, &h)| (h, std::cmp::Reverse(i)))
+                .map(|(i, &h)| (NodeId(i as u32), h))
+        };
+        let first = self.bfs_hops(start.id());
+        let Some((a, _)) = far(&first) else { return 0 };
+        let second = self.bfs_hops(a);
+        far(&second).map_or(0, |(_, h)| h)
+    }
+
     /// Finds the latency-cheapest live path from `src` to `dst` for a
     /// message of `size` bytes.
     ///
@@ -233,7 +499,7 @@ impl Topology {
     /// writing the traversal-ordered path into `scratch.links` and
     /// returning the total transit. Allocation-free once `scratch` has
     /// warmed up to the topology size.
-    fn dijkstra_into(
+    pub(crate) fn dijkstra_into(
         &self,
         src: NodeId,
         dst: NodeId,
@@ -258,6 +524,7 @@ impl Topology {
             if scratch.dist(NodeId(u)) != Some(d) {
                 continue;
             }
+            scratch.settled += 1;
             if u == dst.0 {
                 break;
             }
@@ -356,6 +623,10 @@ pub struct RouteScratch {
     heap: BinaryHeap<std::cmp::Reverse<(SimDuration, u32)>>,
     /// Traversal-ordered path of the last successful query.
     links: Vec<LinkId>,
+    /// Nodes settled (accepted heap pops) since the last
+    /// [`RouteScratch::take_settled`] — the search-work measure E16 and
+    /// the hierarchical-routing tests compare across router designs.
+    settled: u64,
 }
 
 impl RouteScratch {
@@ -363,6 +634,11 @@ impl RouteScratch {
     #[must_use]
     pub fn new() -> Self {
         RouteScratch::default()
+    }
+
+    /// Nodes settled since the last call, resetting the counter.
+    pub fn take_settled(&mut self) -> u64 {
+        std::mem::take(&mut self.settled)
     }
 
     /// Starts a new query over `n` nodes: bumps the stamp and grows the
@@ -404,6 +680,9 @@ pub struct RouteCacheStats {
     pub misses: u64,
     /// Times the whole cache was discarded because the epoch bumped.
     pub invalidations: u64,
+    /// Nodes settled by the Dijkstra runs behind the misses — the
+    /// search-work measure compared against hierarchical routing.
+    pub settled: u64,
 }
 
 impl RouteCacheStats {
@@ -494,6 +773,7 @@ impl RouteCache {
                     transit,
                 })
             });
+        self.stats.settled += self.scratch.take_settled();
         self.map.insert(key, computed.clone());
         computed
     }
@@ -614,6 +894,73 @@ mod tests {
         t.node_mut(NodeId(0)).run_job(SimTime::ZERO, 100.0); // 1s busy
         let spread = t.utilization_spread(SimTime::from_secs(2));
         assert!((spread - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_epochs_scope_to_the_touched_region() {
+        let (mut t, a, b, c) = line3();
+        t.set_node_region(a, RegionId(0));
+        t.set_node_region(b, RegionId(0));
+        t.set_node_region(c, RegionId(1));
+        assert_eq!(t.region_count(), 2);
+        assert!(t.regions_fully_assigned());
+        assert_eq!(t.region_of(a), Some(RegionId(0)));
+        assert_eq!(t.region_of(c), Some(RegionId(1)));
+
+        let (e0, e1) = (t.region_epoch(RegionId(0)), t.region_epoch(RegionId(1)));
+        let improve = t.improve_epoch();
+        // Degrading a region-0 node touches region 0 only, and never the
+        // improve epoch.
+        t.set_node_up(a, false);
+        assert_eq!(t.region_epoch(RegionId(0)), e0 + 1);
+        assert_eq!(t.region_epoch(RegionId(1)), e1);
+        assert_eq!(t.improve_epoch(), improve);
+        // Recovery bumps the improve epoch.
+        t.set_node_up(a, true);
+        assert_eq!(t.improve_epoch(), improve + 1);
+        // A cross-region link flap touches both endpoint regions.
+        let (f0, f1) = (t.region_epoch(RegionId(0)), t.region_epoch(RegionId(1)));
+        t.set_link_up(LinkId(1), false); // b -- c crosses regions 0 and 1
+        assert_eq!(t.region_epoch(RegionId(0)), f0 + 1);
+        assert_eq!(t.region_epoch(RegionId(1)), f1 + 1);
+    }
+
+    #[test]
+    fn degree_and_diameter_stats() {
+        let (t, a, b, _c) = line3();
+        assert_eq!(t.degree(a), 2);
+        assert_eq!(t.degree(b), 2);
+        let d = t.degree_summary();
+        assert_eq!((d.min, d.max), (2, 2));
+        assert!((d.mean - 2.0).abs() < 1e-12);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter_estimate(), 1); // the a--c chord closes the triangle
+        assert_eq!(t.links_of(a).len(), 2);
+    }
+
+    #[test]
+    fn connectivity_respects_liveness() {
+        let (mut t, _a, b, _c) = line3();
+        assert!(t.is_connected());
+        t.set_link_up(LinkId(0), false);
+        assert!(t.is_connected(), "still connected via the chord");
+        t.set_link_up(LinkId(2), false);
+        t.set_link_up(LinkId(1), false);
+        assert!(!t.is_connected());
+        // Downed nodes don't count against connectivity.
+        t.set_link_up(LinkId(1), true);
+        t.set_node_up(b, false);
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn route_scratch_counts_settles() {
+        let (t, a, _b, c) = line3();
+        let mut scratch = RouteScratch::new();
+        assert!(t.route_with(a, c, 0, &mut scratch).is_some());
+        let settled = scratch.take_settled();
+        assert!(settled >= 2, "a 3-node search settles at least src+dst");
+        assert_eq!(scratch.take_settled(), 0, "take resets");
     }
 
     #[test]

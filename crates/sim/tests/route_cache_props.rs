@@ -298,3 +298,228 @@ mod sharded {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Hierarchical router: same exactness bar as the flat cache — every
+// served route must match a fresh whole-graph Dijkstra — plus the
+// partial-invalidation contract: a degrading flap evicts only routes
+// crossing the flapped region.
+// ---------------------------------------------------------------------
+
+mod hier {
+    use aas_sim::hier::HierRouter;
+    use aas_sim::link::{LinkId, LinkSpec};
+    use aas_sim::network::{RegionId, Topology};
+    use aas_sim::node::{NodeId, NodeSpec};
+    use aas_sim::rng::SimRng;
+    use aas_sim::time::SimDuration;
+
+    const SIZES: [u64; 3] = [64, 4096, 262_144];
+
+    /// Four 6-node regions, each a ring with a chord; regions joined in a
+    /// ring through two border nodes each, plus one cross-link — plenty
+    /// of alternative paths so flaps reroute instead of partitioning.
+    fn regioned_topology() -> Topology {
+        let mut t = Topology::new();
+        let mut rng = SimRng::seed_from(0x9e61);
+        let mut nodes = Vec::new();
+        for r in 0..4u32 {
+            let ids: Vec<NodeId> = (0..6)
+                .map(|i| {
+                    let id = t.add_node(NodeSpec::new(format!("r{r}n{i}"), 10.0));
+                    t.set_node_region(id, RegionId(r));
+                    id
+                })
+                .collect();
+            for i in 0..6 {
+                t.add_link(LinkSpec::new(
+                    ids[i],
+                    ids[(i + 1) % 6],
+                    SimDuration::from_millis(1 + rng.below(3)),
+                    1e7,
+                ));
+            }
+            t.add_link(LinkSpec::new(
+                ids[0],
+                ids[3],
+                SimDuration::from_millis(2 + rng.below(3)),
+                1e7,
+            ));
+            nodes.push(ids);
+        }
+        // Region ring: r connects to r+1 through two distinct border
+        // pairs, so single inter-region link loss reroutes.
+        for r in 0..4usize {
+            let next = (r + 1) % 4;
+            t.add_link(LinkSpec::new(
+                nodes[r][1],
+                nodes[next][4],
+                SimDuration::from_millis(4 + rng.below(4)),
+                1e8,
+            ));
+            t.add_link(LinkSpec::new(
+                nodes[r][2],
+                nodes[next][5],
+                SimDuration::from_millis(4 + rng.below(4)),
+                1e8,
+            ));
+        }
+        // One diagonal.
+        t.add_link(LinkSpec::new(
+            nodes[0][0],
+            nodes[2][0],
+            SimDuration::from_millis(9),
+            1e8,
+        ));
+        t
+    }
+
+    /// Served routes must equal fresh Dijkstra answers: same
+    /// reachability, same transit, live hops, and a path whose summed
+    /// cost is its claimed transit.
+    fn check_probes(
+        router: &mut HierRouter,
+        topo: &Topology,
+        rng: &mut SimRng,
+        seed: u64,
+        step: usize,
+    ) {
+        for _ in 0..4 {
+            let n = topo.node_count() as u64;
+            let src = NodeId(rng.below(n) as u32);
+            let dst = NodeId(rng.below(n) as u32);
+            let size = SIZES[rng.below(SIZES.len() as u64) as usize];
+            let served = router.resolve(topo, src, dst, size);
+            let fresh = topo.route(src, dst, size);
+            match (served, fresh) {
+                (None, None) => {}
+                (Some(c), Some(f)) => {
+                    assert_eq!(
+                        c.transit, f.transit,
+                        "seed {seed} step {step}: hier transit {src:?}->{dst:?} not shortest"
+                    );
+                    if src != dst {
+                        let mut cost = SimDuration::ZERO;
+                        let mut cur = src;
+                        for &lid in &c.links {
+                            let link = topo.link(lid);
+                            assert!(
+                                link.is_up(),
+                                "seed {seed} step {step}: served route uses down {lid:?}"
+                            );
+                            cost += link.transit(size);
+                            cur = link.opposite(cur).expect("contiguous path");
+                            assert!(
+                                topo.node(cur).is_up(),
+                                "seed {seed} step {step}: served route crosses a down node"
+                            );
+                        }
+                        assert_eq!(cur, dst, "seed {seed} step {step}: path must reach dst");
+                        assert_eq!(
+                            cost, c.transit,
+                            "seed {seed} step {step}: claimed transit is not the path cost"
+                        );
+                    }
+                }
+                (c, f) => panic!(
+                    "seed {seed} step {step}: hier and fresh disagree on reachability \
+                     {src:?}->{dst:?}: hier={:?} fresh={:?}",
+                    c.map(|r| r.transit),
+                    f.map(|r| r.transit)
+                ),
+            }
+        }
+    }
+
+    fn run_schedule(seed: u64) {
+        let mut rng = SimRng::seed_from(seed ^ 0xE16);
+        let mut topo = regioned_topology();
+        let mut router = HierRouter::new();
+        for step in 0..100 {
+            match rng.below(10) {
+                0 | 1 => {
+                    let n = topo.node_count() as u64;
+                    let id = NodeId(rng.below(n) as u32);
+                    let up = rng.chance(0.55);
+                    topo.set_node_up(id, up);
+                }
+                2..=4 => {
+                    let m = topo.link_count() as u64;
+                    let id = LinkId(rng.below(m) as u32);
+                    let up = rng.chance(0.5);
+                    topo.set_link_up(id, up);
+                }
+                5 => {
+                    // Growth: the new node is first unassigned (hier must
+                    // stay correct by falling back flat), then adopted
+                    // into a region.
+                    let n = topo.node_count() as u64;
+                    let peer = NodeId(rng.below(n) as u32);
+                    let id = topo.add_node(NodeSpec::new(format!("g{step}"), 5.0));
+                    topo.add_link(LinkSpec::new(id, peer, SimDuration::from_millis(3), 1e7));
+                    check_probes(&mut router, &topo, &mut rng, seed, step);
+                    let region = topo.region_of(peer).expect("grown from a regioned node");
+                    topo.set_node_region(id, region);
+                }
+                _ => {}
+            }
+            check_probes(&mut router, &topo, &mut rng, seed, step);
+        }
+        let stats = router.stats();
+        assert!(stats.misses > 0, "seed {seed}: router never searched");
+    }
+
+    #[test]
+    fn hier_matches_fresh_dijkstra_across_64_schedules() {
+        for seed in 0..64 {
+            run_schedule(seed);
+        }
+    }
+
+    #[test]
+    fn degrading_flaps_only_evict_crossing_routes() {
+        let mut topo = regioned_topology();
+        let mut router = HierRouter::new();
+        // Warm one intra-region-0 pair and one region 0 -> region 2 pair.
+        let local = (NodeId(3), NodeId(4)); // region 0 interior
+        let far = (NodeId(0), NodeId(15)); // region 0 -> region 2
+        router.resolve(&topo, local.0, local.1, 64).unwrap();
+        router.resolve(&topo, far.0, far.1, 64).unwrap();
+        let warm = router.stats();
+
+        // Down-flap a link interior to region 3 (nodes 18..24): neither
+        // warmed route crosses it, so both must keep hitting.
+        let interior = topo
+            .links()
+            .position(|l| {
+                let s = l.spec();
+                topo.region_of(s.a) == Some(RegionId(3)) && topo.region_of(s.b) == Some(RegionId(3))
+            })
+            .expect("region 3 has interior links");
+        topo.set_link_up(LinkId(interior as u32), false);
+
+        router.resolve(&topo, local.0, local.1, 64).unwrap();
+        router.resolve(&topo, far.0, far.1, 64).unwrap();
+        let after = router.stats();
+        assert_eq!(
+            after.hits,
+            warm.hits + 2,
+            "a flap in an uncrossed region must not evict: {after:?}"
+        );
+        assert_eq!(
+            after.stale_evictions, warm.stale_evictions,
+            "no stale evictions expected: {after:?}"
+        );
+
+        // A recovery (improving flap) is global: both entries go stale.
+        topo.set_link_up(LinkId(interior as u32), true);
+        router.resolve(&topo, local.0, local.1, 64).unwrap();
+        router.resolve(&topo, far.0, far.1, 64).unwrap();
+        let recovered = router.stats();
+        assert_eq!(
+            recovered.stale_evictions,
+            after.stale_evictions + 2,
+            "an improving flap must invalidate everything: {recovered:?}"
+        );
+    }
+}

@@ -10,7 +10,10 @@
 //! - [`session`] — the media-session state machine walking that ladder;
 //! - [`mobility`] — cells + random-waypoint users, producing the handover
 //!   events that drive geographical reconfiguration;
-//! - [`load`] — non-homogeneous Poisson session workloads (rush hour);
+//! - [`load`] — non-homogeneous Poisson session workloads (rush hour,
+//!   diurnal curves, flash crowds);
+//! - [`planet`] — sessions and mobility wired onto `aas-topo` generated
+//!   tier maps (hot-pair pools, serving-node handovers);
 //! - [`services`] — runnable `aas-core` components implementing the
 //!   paper's video composition path (extraction → coding → transfer):
 //!   [`services::MediaSource`], [`services::Transcoder`],
@@ -23,11 +26,13 @@
 pub mod codec;
 pub mod load;
 pub mod mobility;
+pub mod planet;
 pub mod services;
 pub mod session;
 
 pub use codec::{standard_ladder, CodecProfile};
 pub use load::{LoadEvent, LoadGenerator, SessionId};
 pub use mobility::{CellGrid, CellId, Position, RandomWaypoint};
+pub use planet::{plan_sessions, PlanetEvent, PlanetLoadSpec, PlanetMobility, TierCells};
 pub use services::{register_telecom_components, MediaSink, MediaSource, Transcoder};
 pub use session::{MediaSession, SessionState};

@@ -52,6 +52,47 @@ impl LoadGenerator {
         }
     }
 
+    /// Overlays a diurnal curve on the arrival rate: a day-long sinusoid
+    /// multiplying the base rate between `1 - swing` (deep night) and
+    /// `1 + swing` (evening peak). `period` is the simulated day length
+    /// (compressed days keep experiments short).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `swing` is outside `[0, 1]` or `period` is zero.
+    #[must_use]
+    pub fn with_diurnal(mut self, period: SimDuration, swing: f64) -> Self {
+        assert!((0.0..=1.0).contains(&swing), "swing must be in [0, 1]");
+        assert!(!period.is_zero(), "diurnal period must be non-zero");
+        self.rate = self.rate.times(ResourceTrace::sine(1.0, swing, period));
+        self
+    }
+
+    /// Overlays a flash crowd on the arrival rate: a multiplicative
+    /// surge to `multiplier`× between `start` and `end`, ramping over
+    /// `ramp` — the paper's "users get connected … during rush hours"
+    /// taken to its adversarial extreme (a viral event, a mass outage
+    /// elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier < 1` or `end <= start`.
+    #[must_use]
+    pub fn with_flash_crowd(
+        mut self,
+        start: SimTime,
+        end: SimTime,
+        multiplier: f64,
+        ramp: SimDuration,
+    ) -> Self {
+        assert!(multiplier >= 1.0, "a flash crowd multiplies the load");
+        assert!(end > start, "flash crowd must have positive duration");
+        self.rate = self
+            .rate
+            .times(ResourceTrace::rush_hour(1.0, multiplier, start, end, ramp));
+        self
+    }
+
     /// Generates all events in `[0, horizon)`, sorted by time.
     ///
     /// Arrivals use thinning (rejection sampling) against the trace's
@@ -222,6 +263,84 @@ mod tests {
         let profile = concurrency_profile(&events);
         let counts: Vec<u64> = profile.iter().map(|(_, c)| *c).collect();
         assert_eq!(counts, vec![1, 2, 1, 0]);
+    }
+
+    fn starts_between(events: &[(SimTime, LoadEvent)], lo: u64, hi: u64) -> f64 {
+        events
+            .iter()
+            .filter(|(at, e)| {
+                matches!(e, LoadEvent::SessionStart(_))
+                    && *at >= SimTime::from_secs(lo)
+                    && *at < SimTime::from_secs(hi)
+            })
+            .count() as f64
+            / (hi - lo) as f64
+    }
+
+    #[test]
+    fn diurnal_swing_shapes_the_day() {
+        // A compressed 1000 s "day": peak at t=250 (sine crest), trough
+        // at t=750.
+        let mut generator = LoadGenerator::new(
+            ResourceTrace::constant(4.0),
+            SimDuration::from_secs(5),
+            SimRng::seed_from(21),
+        )
+        .with_diurnal(SimDuration::from_secs(1000), 0.8);
+        let events = generator.generate(SimTime::from_secs(1000));
+        let peak = starts_between(&events, 150, 350);
+        let trough = starts_between(&events, 650, 850);
+        assert!(
+            peak > trough * 3.0,
+            "diurnal peak {peak:.2}/s vs trough {trough:.2}/s"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_spikes_and_subsides() {
+        let mut generator = LoadGenerator::new(
+            ResourceTrace::constant(1.0),
+            SimDuration::from_secs(5),
+            SimRng::seed_from(22),
+        )
+        .with_flash_crowd(
+            SimTime::from_secs(400),
+            SimTime::from_secs(500),
+            8.0,
+            SimDuration::from_secs(10),
+        );
+        let events = generator.generate(SimTime::from_secs(900));
+        let before = starts_between(&events, 100, 350);
+        let during = starts_between(&events, 420, 480);
+        let after = starts_between(&events, 600, 850);
+        assert!(
+            during > before * 4.0,
+            "flash crowd {during:.2}/s vs before {before:.2}/s"
+        );
+        assert!(
+            after < during / 4.0,
+            "load must subside after the crowd ({after:.2}/s)"
+        );
+    }
+
+    #[test]
+    fn modulations_compose() {
+        // Both overlays at once still generate a valid, sorted stream.
+        let mut generator = LoadGenerator::new(
+            ResourceTrace::constant(2.0),
+            SimDuration::from_secs(5),
+            SimRng::seed_from(23),
+        )
+        .with_diurnal(SimDuration::from_secs(600), 0.5)
+        .with_flash_crowd(
+            SimTime::from_secs(100),
+            SimTime::from_secs(200),
+            4.0,
+            SimDuration::from_secs(20),
+        );
+        let events = generator.generate(SimTime::from_secs(600));
+        assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(!events.is_empty());
     }
 
     #[test]

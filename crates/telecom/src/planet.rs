@@ -1,0 +1,306 @@
+//! Planet-scale workload wiring: sessions and mobility mapped onto a
+//! generated topology's tier map.
+//!
+//! `aas-topo` emits the *where* (a [`Generated`] bundle: topology, tiers,
+//! regions); this module supplies the *who and when* — session arrivals
+//! placed on edge nodes through a hot-pair pool, modulated by the diurnal
+//! and flash-crowd overlays, plus random-waypoint walkers whose cell
+//! handovers re-home traffic between edge nodes. Experiment E16 drives
+//! both against the hierarchical router.
+
+use crate::load::{LoadEvent, LoadGenerator, SessionId};
+use crate::mobility::{CellGrid, CellId, RandomWaypoint};
+use aas_sim::node::NodeId;
+use aas_sim::rng::SimRng;
+use aas_sim::time::{SimDuration, SimTime};
+use aas_sim::trace::ResourceTrace;
+use aas_topo::tiers::{Generated, Tier};
+
+/// Parameters of a planet-scale session workload.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanetLoadSpec {
+    /// Aggregate arrival rate (sessions/second across the whole network).
+    pub base_rate: f64,
+    /// Mean session duration.
+    pub mean_session: SimDuration,
+    /// Size of the hot `(src, dst)` pool sessions draw from. Real
+    /// traffic is heavily pair-concentrated; bounding the pool also
+    /// bounds the distinct routes a cache must hold.
+    pub hot_pairs: usize,
+    /// Diurnal overlay: `(day_length, swing)`; `None` for flat days.
+    pub diurnal: Option<(SimDuration, f64)>,
+    /// Flash crowd overlay: `(start, end, multiplier, ramp)`.
+    pub flash_crowd: Option<(SimTime, SimTime, f64, SimDuration)>,
+}
+
+/// One planned session: endpoints drawn from the edge tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedSession {
+    /// The session.
+    pub id: SessionId,
+    /// Originating edge node.
+    pub src: NodeId,
+    /// Terminating edge node.
+    pub dst: NodeId,
+}
+
+/// A session-lifecycle event on the planet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanetEvent {
+    /// A session starts between two edge nodes.
+    Start(PlannedSession),
+    /// A session ends.
+    End(SessionId),
+}
+
+/// Plans a session workload over `generated`'s edge tier: arrivals from
+/// a (possibly diurnal/flash-modulated) non-homogeneous Poisson process,
+/// endpoints drawn deterministically from a seeded hot-pair pool.
+/// Deterministic per `seed`.
+///
+/// # Panics
+///
+/// Panics if the edge tier has fewer than 2 nodes or `hot_pairs` is 0.
+#[must_use]
+pub fn plan_sessions(
+    generated: &Generated,
+    spec: &PlanetLoadSpec,
+    horizon: SimTime,
+    seed: u64,
+) -> Vec<(SimTime, PlanetEvent)> {
+    let edges = generated.nodes_of_tier(Tier::Edge);
+    assert!(edges.len() >= 2, "sessions need at least two edge nodes");
+    assert!(spec.hot_pairs > 0, "hot pool must be non-empty");
+    let mut pool_rng = SimRng::seed_from(seed).split("planet.pairs");
+    let pool: Vec<(NodeId, NodeId)> = (0..spec.hot_pairs)
+        .map(|_| {
+            let src = edges[pool_rng.below(edges.len() as u64) as usize];
+            let mut dst = src;
+            while dst == src {
+                dst = edges[pool_rng.below(edges.len() as u64) as usize];
+            }
+            (src, dst)
+        })
+        .collect();
+
+    let mut rate = ResourceTrace::constant(spec.base_rate);
+    if let Some((period, swing)) = spec.diurnal {
+        rate = rate.times(ResourceTrace::sine(1.0, swing, period));
+    }
+    if let Some((start, end, multiplier, ramp)) = spec.flash_crowd {
+        rate = rate.times(ResourceTrace::rush_hour(1.0, multiplier, start, end, ramp));
+    }
+    let mut generator = LoadGenerator::new(
+        rate,
+        spec.mean_session,
+        SimRng::seed_from(seed).split("planet.arrivals"),
+    );
+    let mut pair_rng = SimRng::seed_from(seed).split("planet.place");
+    generator
+        .generate(horizon)
+        .into_iter()
+        .map(|(at, ev)| match ev {
+            LoadEvent::SessionStart(id) => {
+                let (src, dst) = pool[pair_rng.below(pool.len() as u64) as usize];
+                (at, PlanetEvent::Start(PlannedSession { id, src, dst }))
+            }
+            LoadEvent::SessionEnd(id) => (at, PlanetEvent::End(id)),
+        })
+        .collect()
+}
+
+/// Maps a [`CellGrid`] onto a generated topology's edge tier: each cell
+/// is served by one edge node (cells wrap round-robin when the grid is
+/// finer than the tier).
+#[derive(Debug, Clone)]
+pub struct TierCells {
+    grid: CellGrid,
+    serving: Vec<NodeId>,
+}
+
+impl TierCells {
+    /// Covers `generated`'s edge tier with a `cols x rows` grid over a
+    /// `width x height` meter field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge tier is empty (see [`CellGrid::new`] for grid
+    /// constraints).
+    #[must_use]
+    pub fn new(generated: &Generated, width: f64, height: f64, cols: u32, rows: u32) -> Self {
+        let grid = CellGrid::new(width, height, cols, rows);
+        let edges = generated.nodes_of_tier(Tier::Edge);
+        assert!(!edges.is_empty(), "no edge tier to serve cells");
+        let serving = (0..grid.cell_count())
+            .map(|c| edges[c as usize % edges.len()])
+            .collect();
+        TierCells { grid, serving }
+    }
+
+    /// The underlying grid.
+    #[must_use]
+    pub fn grid(&self) -> CellGrid {
+        self.grid
+    }
+
+    /// The edge node serving `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range.
+    #[must_use]
+    pub fn serving_node(&self, cell: CellId) -> NodeId {
+        self.serving[cell.0 as usize]
+    }
+}
+
+/// A walker's handover between serving edge nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handover {
+    /// Index of the walker that moved.
+    pub walker: usize,
+    /// The edge node now serving it.
+    pub to: NodeId,
+}
+
+/// A population of random-waypoint walkers over a [`TierCells`] map,
+/// yielding node-level handovers the adaptive layer rebinds channels on.
+#[derive(Debug)]
+pub struct PlanetMobility {
+    cells: TierCells,
+    walkers: Vec<RandomWaypoint>,
+    rng: SimRng,
+}
+
+impl PlanetMobility {
+    /// Spawns `count` walkers with speeds in `[min_speed, max_speed]`
+    /// m/s. Deterministic per `seed`.
+    #[must_use]
+    pub fn new(cells: TierCells, count: usize, min_speed: f64, max_speed: f64, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from(seed).split("planet.mobility");
+        let walkers = (0..count)
+            .map(|_| RandomWaypoint::new(cells.grid(), min_speed, max_speed, &mut rng))
+            .collect();
+        PlanetMobility {
+            cells,
+            walkers,
+            rng,
+        }
+    }
+
+    /// The edge node currently serving walker `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn serving(&self, i: usize) -> NodeId {
+        self.cells.serving_node(self.walkers[i].cell())
+    }
+
+    /// Advances every walker by `dt`; returns the handovers that changed
+    /// the *serving node* (cell changes within one node's footprint are
+    /// absorbed), in walker order.
+    pub fn step(&mut self, dt: SimDuration) -> Vec<Handover> {
+        let mut out = Vec::new();
+        for (i, w) in self.walkers.iter_mut().enumerate() {
+            let before = self.cells.serving_node(w.cell());
+            if let Some(cell) = w.step(dt, &mut self.rng) {
+                let to = self.cells.serving_node(cell);
+                if to != before {
+                    out.push(Handover { walker: i, to });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aas_topo::tiered::TieredSpec;
+
+    fn planet() -> Generated {
+        TieredSpec::sized(200).generate(9)
+    }
+
+    fn spec() -> PlanetLoadSpec {
+        PlanetLoadSpec {
+            base_rate: 20.0,
+            mean_session: SimDuration::from_secs(30),
+            hot_pairs: 64,
+            diurnal: None,
+            flash_crowd: None,
+        }
+    }
+
+    #[test]
+    fn sessions_live_on_the_edge_tier() {
+        let generated = planet();
+        let events = plan_sessions(&generated, &spec(), SimTime::from_secs(120), 5);
+        assert!(!events.is_empty());
+        let mut pairs = std::collections::BTreeSet::new();
+        for (_, e) in &events {
+            if let PlanetEvent::Start(s) = e {
+                assert_eq!(generated.tier_of(s.src), Tier::Edge);
+                assert_eq!(generated.tier_of(s.dst), Tier::Edge);
+                assert_ne!(s.src, s.dst);
+                pairs.insert((s.src, s.dst));
+            }
+        }
+        assert!(pairs.len() <= 64, "pairs must come from the hot pool");
+        assert!(pairs.len() > 8, "the pool must actually be exercised");
+    }
+
+    #[test]
+    fn planning_is_deterministic_per_seed() {
+        let generated = planet();
+        let a = plan_sessions(&generated, &spec(), SimTime::from_secs(60), 7);
+        let b = plan_sessions(&generated, &spec(), SimTime::from_secs(60), 7);
+        assert_eq!(a, b);
+        let c = plan_sessions(&generated, &spec(), SimTime::from_secs(60), 8);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn overlays_shape_planet_load() {
+        let generated = planet();
+        let mut flash = spec();
+        flash.flash_crowd = Some((
+            SimTime::from_secs(60),
+            SimTime::from_secs(90),
+            6.0,
+            SimDuration::from_secs(5),
+        ));
+        let events = plan_sessions(&generated, &flash, SimTime::from_secs(150), 5);
+        let starts_in = |lo: u64, hi: u64| {
+            events
+                .iter()
+                .filter(|(at, e)| {
+                    matches!(e, PlanetEvent::Start(_))
+                        && *at >= SimTime::from_secs(lo)
+                        && *at < SimTime::from_secs(hi)
+                })
+                .count() as f64
+                / (hi - lo) as f64
+        };
+        assert!(starts_in(65, 85) > starts_in(10, 50) * 3.0);
+    }
+
+    #[test]
+    fn handovers_move_between_edge_nodes() {
+        let generated = planet();
+        let cells = TierCells::new(&generated, 4000.0, 4000.0, 8, 8);
+        let mut mobility = PlanetMobility::new(cells, 16, 20.0, 40.0, 3);
+        let mut handovers = 0;
+        for _ in 0..300 {
+            for h in mobility.step(SimDuration::from_secs(1)) {
+                assert_eq!(generated.tier_of(h.to), Tier::Edge);
+                assert_eq!(mobility.serving(h.walker), h.to);
+                handovers += 1;
+            }
+        }
+        assert!(handovers > 0, "5 minutes of walking must hand over");
+    }
+}

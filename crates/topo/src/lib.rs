@@ -1,0 +1,46 @@
+//! # aas-topo — planet-scale topology generators
+//!
+//! Seeded, deterministic generators producing `aas-sim`
+//! [`Topology`](aas_sim::Topology) values with tier and region maps,
+//! sized from dozens to tens of thousands of nodes:
+//!
+//! - [`tiered::TieredSpec`] — metro/core/edge telecom hierarchies: a
+//!   long-haul core ring, dual-homed metro routers, edge leaves.
+//! - [`scale_free::ScaleFreeSpec`] — Barabási–Albert preferential
+//!   attachment, the heavy-tailed degree shape of real internetworks.
+//! - [`motif::MotifSpec`] — DReAM-style compositions of ring/star/tree
+//!   motifs stitched by a grammar rule, one region per motif.
+//!
+//! Every generator emits a [`tiers::Generated`]: the topology with all
+//! regions assigned (ready for `aas-sim`'s hierarchical router), a
+//! per-node [`tiers::Tier`] map for load placement, and a
+//! [`fingerprint`](tiers::Generated::fingerprint) so tests can assert
+//! byte-identical regeneration from a seed.
+//!
+//! ```
+//! use aas_topo::tiered::TieredSpec;
+//! use aas_topo::tiers::Tier;
+//!
+//! let spec = TieredSpec::sized(1000);
+//! let generated = spec.generate(7);
+//! assert_eq!(generated.topology.node_count() as u32, spec.node_count());
+//! assert!(generated.topology.regions_fully_assigned());
+//! assert!(generated.topology.is_connected());
+//! assert!(!generated.nodes_of_tier(Tier::Edge).is_empty());
+//! // Same seed, same bytes.
+//! assert_eq!(generated.fingerprint(), spec.generate(7).fingerprint());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod motif;
+pub mod scale_free;
+pub mod tiered;
+pub mod tiers;
+
+pub use motif::{Motif, MotifSpec, Stitch};
+pub use scale_free::ScaleFreeSpec;
+pub use tiered::TieredSpec;
+pub use tiers::{Generated, Tier};

@@ -1,0 +1,229 @@
+//! DReAM-style motif composition: architectures assembled from reusable
+//! structural motifs (rings, stars, trees) stitched together by a
+//! composition grammar. Each motif instance is one region; the stitch
+//! topology connects motif *anchors* (the motif's designated border
+//! node), mirroring DReAM's "architecture of architectures" view.
+
+use crate::tiers::{Generated, Tier};
+use aas_sim::link::LinkSpec;
+use aas_sim::network::RegionId;
+use aas_sim::node::{NodeId, NodeSpec};
+use aas_sim::rng::SimRng;
+use aas_sim::time::SimDuration;
+use aas_sim::Topology;
+
+/// A reusable structural motif.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Motif {
+    /// `n` nodes in a cycle; the anchor is node 0. At least 3.
+    Ring(u32),
+    /// A hub with `n` spokes; the hub is the anchor.
+    Star(u32),
+    /// A rooted tree with the given fanout and depth; the root is the
+    /// anchor. `Tree { fanout: 2, depth: 3 }` has 15 nodes.
+    Tree {
+        /// Children per interior node. At least 1.
+        fanout: u32,
+        /// Levels below the root. At least 1.
+        depth: u32,
+    },
+}
+
+impl Motif {
+    /// Nodes this motif instantiates.
+    #[must_use]
+    pub fn node_count(&self) -> u32 {
+        match *self {
+            Motif::Ring(n) => n,
+            Motif::Star(n) => n + 1,
+            Motif::Tree { fanout, depth } => {
+                let mut total = 1;
+                let mut level = 1;
+                for _ in 0..depth {
+                    level *= fanout;
+                    total += level;
+                }
+                total
+            }
+        }
+    }
+}
+
+/// How motif anchors are stitched into the composite architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stitch {
+    /// Anchors form a cycle.
+    Ring,
+    /// Anchors form a path.
+    Line,
+    /// Every anchor connects to the first motif's anchor.
+    Hub,
+}
+
+/// A motif-composed architecture: a list of motif instances plus the
+/// grammar rule joining their anchors.
+#[derive(Debug, Clone)]
+pub struct MotifSpec {
+    /// The motif instances, in placement order.
+    pub motifs: Vec<Motif>,
+    /// The composition rule over anchors.
+    pub stitch: Stitch,
+}
+
+impl MotifSpec {
+    /// A spec sized to approximately `total` nodes: a repeating
+    /// ring/star/tree pattern of ~20-node motifs stitched in a ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total < 40`.
+    #[must_use]
+    pub fn sized(total: u32) -> MotifSpec {
+        assert!(total >= 40, "motif compositions start at 40 nodes");
+        let pattern = [
+            Motif::Ring(20),
+            Motif::Star(19),
+            Motif::Tree {
+                fanout: 2,
+                depth: 3,
+            },
+        ];
+        let mut motifs = Vec::new();
+        let mut placed = 0;
+        let mut i = 0;
+        while placed < total {
+            let m = pattern[i % pattern.len()];
+            motifs.push(m);
+            placed += m.node_count();
+            i += 1;
+        }
+        MotifSpec {
+            motifs,
+            stitch: Stitch::Ring,
+        }
+    }
+
+    /// Total nodes this spec generates.
+    #[must_use]
+    pub fn node_count(&self) -> u32 {
+        self.motifs.iter().map(Motif::node_count).sum()
+    }
+
+    /// Generates the composite. Deterministic per `seed`. Each motif is
+    /// one region; anchors are tier [`Tier::Metro`] (the hub of the
+    /// first motif is [`Tier::Core`]), interior nodes [`Tier::Edge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty motif list, a `Ring` smaller than 3, a `Star`
+    /// with no spokes, or a `Tree` with zero fanout or depth.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Generated {
+        assert!(!self.motifs.is_empty(), "composition needs motifs");
+        let mut rng = SimRng::seed_from(seed).split("topo.motif");
+        let mut topo = Topology::new();
+        let mut tiers = Vec::new();
+        let mut anchors = Vec::with_capacity(self.motifs.len());
+        let lat =
+            |rng: &mut SimRng, lo: u64, hi: u64| SimDuration::from_micros(rng.below(hi - lo) + lo);
+
+        for (mi, motif) in self.motifs.iter().enumerate() {
+            let region = RegionId(mi as u32);
+            let add = |topo: &mut Topology, tiers: &mut Vec<Tier>, tag: &str, t: Tier| {
+                let i = topo.node_count();
+                let id = topo.add_node(NodeSpec::new(format!("g{mi}{tag}{i}"), 50.0));
+                topo.set_node_region(id, region);
+                tiers.push(t);
+                id
+            };
+            let anchor = match *motif {
+                Motif::Ring(n) => {
+                    assert!(n >= 3, "ring needs 3 nodes");
+                    let ids: Vec<NodeId> = (0..n)
+                        .map(|k| {
+                            add(
+                                &mut topo,
+                                &mut tiers,
+                                "r",
+                                if k == 0 { Tier::Metro } else { Tier::Edge },
+                            )
+                        })
+                        .collect();
+                    for k in 0..ids.len() {
+                        let l = lat(&mut rng, 500, 1500);
+                        topo.add_link(LinkSpec::new(ids[k], ids[(k + 1) % ids.len()], l, 1e8));
+                    }
+                    ids[0]
+                }
+                Motif::Star(n) => {
+                    assert!(n >= 1, "star needs spokes");
+                    let hub = add(&mut topo, &mut tiers, "h", Tier::Metro);
+                    for _ in 0..n {
+                        let spoke = add(&mut topo, &mut tiers, "s", Tier::Edge);
+                        let l = lat(&mut rng, 500, 1500);
+                        topo.add_link(LinkSpec::new(hub, spoke, l, 1e8));
+                    }
+                    hub
+                }
+                Motif::Tree { fanout, depth } => {
+                    assert!(fanout >= 1 && depth >= 1, "tree needs fanout and depth");
+                    let root = add(&mut topo, &mut tiers, "t", Tier::Metro);
+                    let mut frontier = vec![root];
+                    for _ in 0..depth {
+                        let mut next = Vec::new();
+                        for parent in frontier {
+                            for _ in 0..fanout {
+                                let child = add(&mut topo, &mut tiers, "c", Tier::Edge);
+                                let l = lat(&mut rng, 500, 1500);
+                                topo.add_link(LinkSpec::new(parent, child, l, 1e8));
+                                next.push(child);
+                            }
+                        }
+                        frontier = next;
+                    }
+                    root
+                }
+            };
+            anchors.push(anchor);
+        }
+
+        // Stitch the anchors per the grammar rule; inter-motif links are
+        // the long-haul tier.
+        let stitch_lat = |rng: &mut SimRng| lat(rng, 2000, 6000);
+        match self.stitch {
+            Stitch::Ring => {
+                for i in 0..anchors.len() {
+                    let l = stitch_lat(&mut rng);
+                    topo.add_link(LinkSpec::new(
+                        anchors[i],
+                        anchors[(i + 1) % anchors.len()],
+                        l,
+                        5e8,
+                    ));
+                    if anchors.len() == 2 {
+                        break; // a 2-ring is one link, not two parallel ones
+                    }
+                }
+            }
+            Stitch::Line => {
+                for w in anchors.windows(2) {
+                    let l = stitch_lat(&mut rng);
+                    topo.add_link(LinkSpec::new(w[0], w[1], l, 5e8));
+                }
+            }
+            Stitch::Hub => {
+                tiers[anchors[0].0 as usize] = Tier::Core;
+                for &a in &anchors[1..] {
+                    let l = stitch_lat(&mut rng);
+                    topo.add_link(LinkSpec::new(anchors[0], a, l, 5e8));
+                }
+            }
+        }
+
+        Generated {
+            topology: topo,
+            tiers,
+            regions: self.motifs.len() as u32,
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Tiered metro/core/edge generator: a long-haul core ring with chords,
+//! metro routers dual-homed onto the core, and edge leaves dual-homed
+//! onto their metro's routers. One region per metro plus one for the
+//! core — the natural partition for hierarchical routing.
+
+use crate::tiers::{Generated, Tier};
+use aas_sim::link::LinkSpec;
+use aas_sim::network::RegionId;
+use aas_sim::node::{NodeId, NodeSpec};
+use aas_sim::rng::SimRng;
+use aas_sim::time::SimDuration;
+use aas_sim::Topology;
+
+/// Parameters of the tiered generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TieredSpec {
+    /// Core backbone nodes (ring + chords). At least 3.
+    pub core_nodes: u32,
+    /// Number of metros. At least 1.
+    pub metros: u32,
+    /// Aggregation routers per metro. At least 2.
+    pub routers_per_metro: u32,
+    /// Edge leaves per metro.
+    pub edges_per_metro: u32,
+}
+
+impl TieredSpec {
+    /// A spec sized to approximately `total` nodes, keeping the paper's
+    /// telecom shape: a thin core, tens of metros, edge-heavy leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total < 32`.
+    #[must_use]
+    pub fn sized(total: u32) -> TieredSpec {
+        assert!(total >= 32, "tiered networks start at 32 nodes");
+        let core_nodes = (total / 64).clamp(4, 64);
+        let metros = (total / 80).clamp(2, 128);
+        let routers_per_metro = 4;
+        let remaining = total - core_nodes - metros * routers_per_metro;
+        let edges_per_metro = remaining / metros;
+        TieredSpec {
+            core_nodes,
+            metros,
+            routers_per_metro,
+            edges_per_metro,
+        }
+    }
+
+    /// Total nodes this spec generates.
+    #[must_use]
+    pub fn node_count(&self) -> u32 {
+        self.core_nodes + self.metros * (self.routers_per_metro + self.edges_per_metro)
+    }
+
+    /// Generates the network. Deterministic per `seed`: same spec and
+    /// seed ⇒ byte-identical output (see `Generated::fingerprint`).
+    ///
+    /// Layout: core nodes form a ring with `core/4` chords; each metro's
+    /// routers attach to two distinct core nodes and form a local ring;
+    /// each edge leaf dual-homes onto two of its metro's routers.
+    /// Region 0 is the core; metro `m` is region `m + 1` (routers and
+    /// leaves together).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (`core_nodes < 3`, `metros < 1`
+    /// or `routers_per_metro < 2`).
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Generated {
+        assert!(self.core_nodes >= 3, "core needs at least 3 nodes");
+        assert!(self.metros >= 1, "at least one metro");
+        assert!(self.routers_per_metro >= 2, "dual-homing needs 2 routers");
+        let mut rng = SimRng::seed_from(seed).split("topo.tiered");
+        let mut topo = Topology::new();
+        let mut tiers = Vec::new();
+
+        // Core ring + chords (region 0).
+        let core: Vec<NodeId> = (0..self.core_nodes)
+            .map(|i| {
+                let id = topo.add_node(NodeSpec::new(format!("core{i}"), 1000.0));
+                tiers.push(Tier::Core);
+                topo.set_node_region(id, RegionId(0));
+                id
+            })
+            .collect();
+        let core_ms = |rng: &mut SimRng| SimDuration::from_micros(rng.below(3000) + 2000);
+        for i in 0..core.len() {
+            let lat = core_ms(&mut rng);
+            topo.add_link(LinkSpec::new(core[i], core[(i + 1) % core.len()], lat, 1e9));
+        }
+        for _ in 0..self.core_nodes / 4 {
+            let a = rng.below(u64::from(self.core_nodes)) as usize;
+            let b = rng.below(u64::from(self.core_nodes)) as usize;
+            if a != b {
+                let lat = core_ms(&mut rng);
+                topo.add_link(LinkSpec::new(core[a], core[b], lat, 1e9));
+            }
+        }
+
+        // Metros: routers dual-homed to the core, edges dual-homed to
+        // routers. Metro m is region m+1.
+        for m in 0..self.metros {
+            let region = RegionId(m + 1);
+            let routers: Vec<NodeId> = (0..self.routers_per_metro)
+                .map(|r| {
+                    let id = topo.add_node(NodeSpec::new(format!("m{m}r{r}"), 200.0));
+                    tiers.push(Tier::Metro);
+                    topo.set_node_region(id, region);
+                    id
+                })
+                .collect();
+            // Local router ring so the metro survives single-router loss.
+            let metro_ms = |rng: &mut SimRng| SimDuration::from_micros(rng.below(1000) + 1000);
+            if routers.len() > 2 {
+                for i in 0..routers.len() {
+                    let lat = metro_ms(&mut rng);
+                    topo.add_link(LinkSpec::new(
+                        routers[i],
+                        routers[(i + 1) % routers.len()],
+                        lat,
+                        1e8,
+                    ));
+                }
+            } else {
+                let lat = metro_ms(&mut rng);
+                topo.add_link(LinkSpec::new(routers[0], routers[1], lat, 1e8));
+            }
+            // Uplinks: two distinct core attachment points per metro.
+            let up_a = rng.below(u64::from(self.core_nodes)) as usize;
+            let up_b = (up_a + 1 + rng.below(u64::from(self.core_nodes) - 1) as usize)
+                % self.core_nodes as usize;
+            topo.add_link(LinkSpec::new(
+                routers[0],
+                core[up_a],
+                core_ms(&mut rng),
+                5e8,
+            ));
+            topo.add_link(LinkSpec::new(
+                routers[routers.len() - 1],
+                core[up_b],
+                core_ms(&mut rng),
+                5e8,
+            ));
+            // Edge leaves, dual-homed to consecutive routers.
+            for e in 0..self.edges_per_metro {
+                let id = topo.add_node(NodeSpec::new(format!("m{m}e{e}"), 10.0));
+                tiers.push(Tier::Edge);
+                topo.set_node_region(id, region);
+                let r0 = rng.below(routers.len() as u64) as usize;
+                let r1 = (r0 + 1) % routers.len();
+                let edge_ms = |rng: &mut SimRng| SimDuration::from_micros(rng.below(500) + 500);
+                topo.add_link(LinkSpec::new(id, routers[r0], edge_ms(&mut rng), 1e7));
+                topo.add_link(LinkSpec::new(id, routers[r1], edge_ms(&mut rng), 1e7));
+            }
+        }
+
+        Generated {
+            topology: topo,
+            tiers,
+            regions: self.metros + 1,
+        }
+    }
+}

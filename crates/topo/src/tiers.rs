@@ -1,0 +1,106 @@
+//! Shared output types of the generators: the tier taxonomy, the
+//! generated bundle (topology + tier/region maps) and its structural
+//! fingerprint.
+
+use aas_sim::network::RegionId;
+use aas_sim::node::NodeId;
+use aas_sim::Topology;
+
+/// A node's place in the generated hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tier {
+    /// Backbone node: high degree, high bandwidth, long-haul latency.
+    Core,
+    /// Regional aggregation node (a metro router, a motif hub).
+    Metro,
+    /// Leaf node where sessions originate and terminate.
+    Edge,
+}
+
+impl Tier {
+    /// Stable code used in fingerprints and reports.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            Tier::Core => 0,
+            Tier::Metro => 1,
+            Tier::Edge => 2,
+        }
+    }
+}
+
+/// A generated topology bundle: the [`Topology`] (with every node's
+/// region assigned), the per-node tier map, and the region count.
+#[derive(Debug)]
+pub struct Generated {
+    /// The topology, regions fully assigned.
+    pub topology: Topology,
+    /// Per-node tier, indexed by `NodeId.0`.
+    pub tiers: Vec<Tier>,
+    /// Number of regions assigned (region ids are `0..regions`).
+    pub regions: u32,
+}
+
+impl Generated {
+    /// The tier of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    #[must_use]
+    pub fn tier_of(&self, node: NodeId) -> Tier {
+        self.tiers[node.0 as usize]
+    }
+
+    /// All nodes of a given tier, ascending.
+    #[must_use]
+    pub fn nodes_of_tier(&self, tier: Tier) -> Vec<NodeId> {
+        self.tiers
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t == tier)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// A structural fingerprint over nodes, links, tiers and regions.
+    ///
+    /// Two `Generated` values carry the same fingerprint iff they have
+    /// byte-identical structure (same nodes with the same capacities,
+    /// same links with the same endpoints/latencies/bandwidths, same
+    /// tier and region maps) — the regeneration-determinism tests hash
+    /// two runs of a generator and compare.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a, 64-bit; dependency-free and stable across platforms.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        let topo = &self.topology;
+        eat(&(topo.node_count() as u64).to_le_bytes());
+        eat(&(topo.link_count() as u64).to_le_bytes());
+        eat(&u64::from(self.regions).to_le_bytes());
+        for node in topo.node_ids() {
+            let spec = topo.node(node).spec();
+            eat(spec.name.as_bytes());
+            eat(&spec.capacity.to_le_bytes());
+            eat(&[self.tiers[node.0 as usize].code()]);
+            let region = topo.region_of(node).map_or(u32::MAX, |RegionId(r)| r);
+            eat(&region.to_le_bytes());
+        }
+        for link in topo.links() {
+            let spec = link.spec();
+            eat(&spec.a.0.to_le_bytes());
+            eat(&spec.b.0.to_le_bytes());
+            eat(&spec.latency.as_micros().to_le_bytes());
+            eat(&spec.bandwidth.to_le_bytes());
+        }
+        h
+    }
+}

@@ -1,0 +1,252 @@
+//! Property harness for the topology generators: every family, across
+//! seeds and sizes, must produce connected graphs, sane tier-degree
+//! structure, full region assignment, and byte-identical regeneration
+//! from the same seed.
+
+use aas_sim::network::RegionId;
+use aas_sim::node::NodeId;
+use aas_topo::motif::{Motif, MotifSpec, Stitch};
+use aas_topo::scale_free::ScaleFreeSpec;
+use aas_topo::tiered::TieredSpec;
+use aas_topo::tiers::{Generated, Tier};
+
+const SEEDS: [u64; 6] = [1, 7, 42, 1001, 0xDEAD, 0xA5A5_0001];
+
+/// The invariants every generator family must satisfy.
+fn check_common(generated: &Generated, family: &str, seed: u64) {
+    let topo = &generated.topology;
+    assert!(
+        topo.is_connected(),
+        "{family}/{seed}: generated graph is disconnected"
+    );
+    assert!(
+        topo.regions_fully_assigned(),
+        "{family}/{seed}: some node has no region"
+    );
+    assert_eq!(
+        topo.region_count(),
+        generated.regions,
+        "{family}/{seed}: region count mismatch"
+    );
+    assert_eq!(
+        generated.tiers.len(),
+        topo.node_count(),
+        "{family}/{seed}: tier map length mismatch"
+    );
+    // Every region is inhabited.
+    for (r, size) in topo.region_sizes().iter().enumerate() {
+        assert!(*size > 0, "{family}/{seed}: region {r} is empty");
+    }
+    // No isolated nodes; the degree summary agrees with itself.
+    let summary = topo.degree_summary();
+    assert!(summary.min >= 1, "{family}/{seed}: isolated node");
+    assert!(summary.mean >= 1.0 && summary.mean <= summary.max as f64);
+    assert!(topo.diameter_estimate() >= 1, "{family}/{seed}: flat graph");
+}
+
+#[test]
+fn tiered_invariants() {
+    for seed in SEEDS {
+        let spec = TieredSpec::sized(1000);
+        let generated = spec.generate(seed);
+        check_common(&generated, "tiered", seed);
+        assert_eq!(generated.topology.node_count() as u32, spec.node_count());
+        assert_eq!(generated.regions, spec.metros + 1);
+
+        // Tier-degree bounds: edges are dual-homed leaves, metro routers
+        // carry the leaves plus ring and uplinks, core nodes sit on the
+        // backbone ring.
+        let topo = &generated.topology;
+        for node in topo.node_ids() {
+            let d = topo.degree(node);
+            match generated.tier_of(node) {
+                Tier::Edge => assert_eq!(d, 2, "tiered/{seed}: edge {node:?} degree {d}"),
+                Tier::Metro => assert!(d >= 2, "tiered/{seed}: metro {node:?} degree {d}"),
+                Tier::Core => assert!(d >= 2, "tiered/{seed}: core {node:?} degree {d}"),
+            }
+        }
+        // The core is region 0 and nothing else is.
+        for node in topo.node_ids() {
+            let in_core_region = topo.region_of(node) == Some(RegionId(0));
+            let is_core = generated.tier_of(node) == Tier::Core;
+            assert_eq!(
+                in_core_region, is_core,
+                "tiered/{seed}: region 0 must be exactly the core"
+            );
+        }
+    }
+}
+
+#[test]
+fn scale_free_invariants() {
+    for seed in SEEDS {
+        let spec = ScaleFreeSpec::sized(1000);
+        let generated = spec.generate(seed);
+        check_common(&generated, "scale_free", seed);
+        let topo = &generated.topology;
+        assert_eq!(topo.node_count() as u32, spec.nodes);
+
+        // Preferential attachment must produce a heavy tail: the largest
+        // hub collects far more than the mean degree.
+        let summary = topo.degree_summary();
+        assert!(
+            summary.max as f64 > summary.mean * 5.0,
+            "scale_free/{seed}: no hub (max {} mean {:.1})",
+            summary.max,
+            summary.mean
+        );
+        // Tiering is by degree percentile: every core node outranks every
+        // edge node.
+        let min_core = generated
+            .nodes_of_tier(Tier::Core)
+            .iter()
+            .map(|&n| topo.degree(n))
+            .min()
+            .expect("core tier inhabited");
+        let max_edge = generated
+            .nodes_of_tier(Tier::Edge)
+            .iter()
+            .map(|&n| topo.degree(n))
+            .max()
+            .expect("edge tier inhabited");
+        assert!(
+            min_core >= max_edge,
+            "scale_free/{seed}: tier order violates degree order"
+        );
+        // The region cap holds.
+        for (r, size) in topo.region_sizes().iter().enumerate() {
+            assert!(
+                *size as u32 <= spec.region_cap,
+                "scale_free/{seed}: region {r} exceeds the cap"
+            );
+        }
+    }
+}
+
+#[test]
+fn motif_invariants() {
+    for seed in SEEDS {
+        let spec = MotifSpec::sized(1000);
+        let generated = spec.generate(seed);
+        check_common(&generated, "motif", seed);
+        let topo = &generated.topology;
+        assert_eq!(topo.node_count() as u32, spec.node_count());
+        assert_eq!(generated.regions, spec.motifs.len() as u32);
+
+        // One region per motif instance, each exactly the motif's size.
+        for (m, motif) in spec.motifs.iter().enumerate() {
+            assert_eq!(
+                topo.region_sizes()[m] as u32,
+                motif.node_count(),
+                "motif/{seed}: region {m} size mismatch"
+            );
+        }
+    }
+}
+
+#[test]
+fn motif_node_counts_are_exact() {
+    assert_eq!(Motif::Ring(5).node_count(), 5);
+    assert_eq!(Motif::Star(4).node_count(), 5);
+    assert_eq!(
+        Motif::Tree {
+            fanout: 2,
+            depth: 3
+        }
+        .node_count(),
+        15
+    );
+    // All three stitch rules produce connected composites.
+    for stitch in [Stitch::Ring, Stitch::Line, Stitch::Hub] {
+        let spec = MotifSpec {
+            motifs: vec![
+                Motif::Ring(4),
+                Motif::Star(3),
+                Motif::Tree {
+                    fanout: 2,
+                    depth: 2,
+                },
+            ],
+            stitch,
+        };
+        let generated = spec.generate(3);
+        assert!(
+            generated.topology.is_connected(),
+            "{stitch:?}: composite disconnected"
+        );
+    }
+}
+
+#[test]
+fn regeneration_is_byte_identical_per_seed() {
+    for seed in SEEDS {
+        let tiered = TieredSpec::sized(500);
+        assert_eq!(
+            tiered.generate(seed).fingerprint(),
+            tiered.generate(seed).fingerprint(),
+            "tiered/{seed}: regeneration diverged"
+        );
+        let sf = ScaleFreeSpec::sized(500);
+        assert_eq!(
+            sf.generate(seed).fingerprint(),
+            sf.generate(seed).fingerprint(),
+            "scale_free/{seed}: regeneration diverged"
+        );
+        let motif = MotifSpec::sized(500);
+        assert_eq!(
+            motif.generate(seed).fingerprint(),
+            motif.generate(seed).fingerprint(),
+            "motif/{seed}: regeneration diverged"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let spec = TieredSpec::sized(500);
+    assert_ne!(
+        spec.generate(1).fingerprint(),
+        spec.generate(2).fingerprint()
+    );
+    let sf = ScaleFreeSpec::sized(500);
+    assert_ne!(sf.generate(1).fingerprint(), sf.generate(2).fingerprint());
+    let motif = MotifSpec::sized(500);
+    assert_ne!(
+        motif.generate(1).fingerprint(),
+        motif.generate(2).fingerprint()
+    );
+}
+
+#[test]
+fn hier_router_is_exact_on_generated_graphs() {
+    // On each family, the hierarchical router's answers must match fresh
+    // flat Dijkstra runs for a sample of pairs, including under faults.
+    let mut rng = aas_sim::rng::SimRng::seed_from(0xE16);
+    let families: Vec<(&str, Generated)> = vec![
+        ("tiered", TieredSpec::sized(300).generate(5)),
+        ("scale_free", ScaleFreeSpec::sized(300).generate(5)),
+        ("motif", MotifSpec::sized(300).generate(5)),
+    ];
+    for (family, generated) in families {
+        let mut topo = generated.topology;
+        let mut router = aas_sim::hier::HierRouter::new();
+        let n = topo.node_count() as u64;
+        let m = topo.link_count() as u64;
+        for round in 0..120 {
+            if round % 10 == 9 {
+                let l = aas_sim::link::LinkId(rng.below(m) as u32);
+                topo.set_link_up(l, rng.chance(0.4));
+            }
+            let src = NodeId(rng.below(n) as u32);
+            let dst = NodeId(rng.below(n) as u32);
+            let hier = router.resolve(&topo, src, dst, 256);
+            let flat = topo.route(src, dst, 256);
+            assert_eq!(
+                hier.as_ref().map(|r| r.transit),
+                flat.as_ref().map(|r| r.transit),
+                "{family}: hier diverges from flat for {src:?}->{dst:?}"
+            );
+        }
+        assert_eq!(router.stats().full_fallbacks, 0, "{family}: fell back flat");
+    }
+}

@@ -1,0 +1,115 @@
+//! The E16 acceptance property at test scale: on a 10k-node tiered
+//! network under a fault storm, hierarchical routing must perform at
+//! least 10× fewer full-route recomputations per flap than the flat
+//! epoch-flush cache — while every route it serves still matches a fresh
+//! whole-graph shortest-path query.
+
+use aas_sim::hier::HierRouter;
+use aas_sim::link::LinkId;
+use aas_sim::network::{RegionId, RouteCache};
+use aas_sim::node::NodeId;
+use aas_sim::rng::SimRng;
+use aas_topo::tiered::TieredSpec;
+use aas_topo::tiers::Tier;
+
+#[test]
+fn hier_recomputes_10x_less_than_flat_under_a_10k_fault_storm() {
+    let generated = TieredSpec::sized(10_000).generate(16);
+    let edges = generated.nodes_of_tier(Tier::Edge);
+    let mut topo = generated.topology;
+    assert!(topo.node_count() >= 9_000, "grid must be ~10k nodes");
+
+    // A hot pool of edge-to-edge pairs, the planet workload's shape.
+    let mut rng = SimRng::seed_from(0x5702);
+    let pairs: Vec<(NodeId, NodeId)> = (0..40)
+        .map(|_| {
+            let a = edges[rng.below(edges.len() as u64) as usize];
+            let mut b = a;
+            while b == a {
+                b = edges[rng.below(edges.len() as u64) as usize];
+            }
+            (a, b)
+        })
+        .collect();
+
+    // Distinct metro-interior links to storm: both endpoints in the same
+    // non-core region. Edge leaves are dual-homed, so downing any one of
+    // these degrades without partitioning.
+    let mut storm: Vec<LinkId> = Vec::new();
+    for (i, link) in topo.links().enumerate() {
+        let spec = link.spec();
+        let (ra, rb) = (topo.region_of(spec.a), topo.region_of(spec.b));
+        if ra == rb && ra != Some(RegionId(0)) {
+            if storm.len() < 6 && i % 97 == 0 {
+                storm.push(LinkId(i as u32));
+            }
+        }
+    }
+    assert_eq!(storm.len(), 6, "storm needs 6 distinct metro links");
+
+    let mut flat = RouteCache::new(&topo);
+    let mut hier = HierRouter::new();
+
+    // Warm both routers on the full pool.
+    for &(src, dst) in &pairs {
+        flat.resolve(&topo, src, dst, 1024).expect("warm flat");
+        hier.resolve(&topo, src, dst, 1024).expect("warm hier");
+    }
+    let flat_warm = flat.stats();
+    let hier_warm = hier.stats();
+
+    // The storm: down-flap each link, then re-resolve the whole pool on
+    // both routers, as the kernel's send path would.
+    for &lid in &storm {
+        topo.set_link_up(lid, false);
+        for &(src, dst) in &pairs {
+            let f = flat
+                .resolve(&topo, src, dst, 1024)
+                .expect("flat under storm");
+            let h = hier
+                .resolve(&topo, src, dst, 1024)
+                .expect("hier under storm");
+            assert_eq!(
+                f.transit, h.transit,
+                "{src:?}->{dst:?}: routers disagree mid-storm"
+            );
+        }
+    }
+
+    let flat_delta_misses = flat.stats().misses - flat_warm.misses;
+    let flat_delta_settled = flat.stats().settled - flat_warm.settled;
+    let hier_stats = hier.stats();
+    let hier_recomputes = (hier_stats.misses + hier_stats.full_fallbacks)
+        - (hier_warm.misses + hier_warm.full_fallbacks);
+    let hier_delta_settled = hier_stats.settled - hier_warm.settled;
+
+    // Flat flushes everything on every flap: every pool pair recomputes.
+    assert_eq!(
+        flat_delta_misses,
+        (storm.len() * pairs.len()) as u64,
+        "flat cache should flush wholesale per flap"
+    );
+    assert_eq!(hier_stats.full_fallbacks, 0, "10k grid is fully regioned");
+
+    // The acceptance bar: ≥10× fewer full-route recomputations per flap,
+    // and ≥10× less Dijkstra work settled, under the same storm.
+    assert!(
+        flat_delta_misses >= 10 * hier_recomputes.max(1),
+        "recompute ratio too low: flat {flat_delta_misses} vs hier {hier_recomputes}"
+    );
+    assert!(
+        flat_delta_settled >= 10 * hier_delta_settled.max(1),
+        "settled-work ratio too low: flat {flat_delta_settled} vs hier {hier_delta_settled}"
+    );
+
+    // Exactness after the full storm: served routes equal fresh
+    // whole-graph Dijkstra answers.
+    for &(src, dst) in pairs.iter().take(12) {
+        let served = hier.resolve(&topo, src, dst, 1024).expect("post-storm");
+        let fresh = topo.route(src, dst, 1024).expect("post-storm fresh");
+        assert_eq!(
+            served.transit, fresh.transit,
+            "{src:?}->{dst:?}: post-storm route is not shortest"
+        );
+    }
+}
