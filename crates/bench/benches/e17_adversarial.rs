@@ -1,0 +1,28 @@
+//! E17 bench target: prints the adversarial-scenario table (mutation
+//! kill score, adaptation coverage, scenario throughput), writes the
+//! `BENCH_e17.json` artifact, and micro-measures one single-seed engine
+//! pass.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let summary = aas_bench::e17::run_summary(&aas_bench::e17::seeds());
+    println!("{}", aas_bench::e17::render(&summary));
+    // Cargo runs bench binaries with cwd = the package root, so the
+    // artifact lands at crates/bench/BENCH_e17.json.
+    let json = aas_bench::e17::to_json(&summary);
+    if let Err(e) = std::fs::write("BENCH_e17.json", &json) {
+        eprintln!("could not write BENCH_e17.json: {e}");
+    }
+
+    c.bench_function("e17/engine_one_seed", |b| {
+        b.iter(|| {
+            black_box(aas_scenario::mutation::run_engine(black_box(&[
+                aas_bench::e17::FAST_SEEDS[0],
+            ])))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

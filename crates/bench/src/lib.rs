@@ -1,6 +1,6 @@
 //! # aas-bench — the experiment harness
 //!
-//! One module per experiment (E1–E16). Each exposes `run() -> Table`
+//! One module per experiment (E1–E17). Each exposes `run() -> Table`
 //! regenerating the experiment's result table; the Criterion targets in
 //! `benches/` print these tables and add wall-clock micro-measurements of
 //! the hot primitives. See `EXPERIMENTS.md` for the claim ↔ measurement
@@ -26,6 +26,7 @@ pub mod e13;
 pub mod e14;
 pub mod e15;
 pub mod e16;
+pub mod e17;
 pub mod table;
 
 pub use table::Table;

@@ -30,6 +30,43 @@ use crate::raml::{Intercession, SystemSnapshot};
 use crate::reconfig::{ReconfigAction, ReconfigPlan, StateTransfer};
 use aas_sim::node::NodeId;
 
+/// A deliberate, named corruption of repair planning.
+///
+/// This is the faulty-adaptation-logic hook the `aas-scenario` mutation
+/// engine uses (Bartel et al.'s model-driven mutation, PAPERS.md): each
+/// variant is a plausible implementation bug in [`RepairPolicy::plan_for`],
+/// and the adversarial harness demands its oracles flag every one. No
+/// mutation is ever applied unless explicitly installed via
+/// `Runtime::set_plan_mutation`; production planning goes through
+/// [`RepairPolicy::plan_for`], which always passes `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMutation {
+    /// Planning "succeeds" with every action discarded: the classic
+    /// forgot-to-return bug. Suspects are silently dequeued unrepaired.
+    DropActions,
+    /// Repair actions are emitted in reverse order.
+    ReverseActions,
+    /// Failover migrates to the suspected node itself instead of away
+    /// from it (an inverted comparison in target selection).
+    TargetSuspect,
+    /// Failover migrates to the *hottest* live node instead of the
+    /// coolest (a flipped `min`/`max`).
+    TargetHottest,
+}
+
+impl PlanMutation {
+    /// Short stable label (mutation-engine tables and audit details).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PlanMutation::DropActions => "drop-actions",
+            PlanMutation::ReverseActions => "reverse-actions",
+            PlanMutation::TargetSuspect => "target-suspect",
+            PlanMutation::TargetHottest => "target-hottest",
+        }
+    }
+}
+
 /// The repair strategy the runtime applies to suspected node failures.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub enum RepairPolicy {
@@ -77,12 +114,30 @@ impl RepairPolicy {
     /// (nothing hosted, no live target, policy `None`).
     #[must_use]
     pub fn plan_for(&self, failed: NodeId, snap: &SystemSnapshot) -> Vec<Intercession> {
+        self.plan_for_mutated(failed, snap, None)
+    }
+
+    /// [`RepairPolicy::plan_for`] with an optional [`PlanMutation`]
+    /// applied — the seam the adversarial mutation harness corrupts.
+    /// `mutation: None` is byte-identical to `plan_for`.
+    #[must_use]
+    pub fn plan_for_mutated(
+        &self,
+        failed: NodeId,
+        snap: &SystemSnapshot,
+        mutation: Option<PlanMutation>,
+    ) -> Vec<Intercession> {
         let hosted: Vec<&crate::raml::ComponentObservation> = snap
             .components
             .iter()
             .filter(|c| c.node == failed)
             .collect();
-        match self {
+        let by_util = |a: &&crate::raml::NodeObservation, b: &&crate::raml::NodeObservation| {
+            a.utilization
+                .partial_cmp(&b.utilization)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        };
+        let planned = match self {
             RepairPolicy::None => Vec::new(),
             RepairPolicy::RestartInPlace => {
                 let mut plan = ReconfigPlan::new();
@@ -103,16 +158,12 @@ impl RepairPolicy {
             RepairPolicy::FailoverMigrate => {
                 // The coolest *live* node other than the failed one; the
                 // failed node may still be up under a false suspicion.
-                let target = snap
-                    .nodes
-                    .iter()
-                    .filter(|n| n.up && n.id != failed)
-                    .min_by(|a, b| {
-                        a.utilization
-                            .partial_cmp(&b.utilization)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .map(|n| n.id);
+                let live = || snap.nodes.iter().filter(|n| n.up && n.id != failed);
+                let target = match mutation {
+                    Some(PlanMutation::TargetSuspect) => Some(failed),
+                    Some(PlanMutation::TargetHottest) => live().max_by(by_util).map(|n| n.id),
+                    _ => live().min_by(by_util).map(|n| n.id),
+                };
                 let Some(to) = target else {
                     return Vec::new();
                 };
@@ -135,6 +186,23 @@ impl RepairPolicy {
                     spec: (**backup).clone(),
                 }]
             }
+        };
+        match mutation {
+            Some(PlanMutation::DropActions) if !planned.is_empty() => Vec::new(),
+            Some(PlanMutation::ReverseActions) => planned
+                .into_iter()
+                .map(|cmd| match cmd {
+                    Intercession::Reconfigure(plan) => {
+                        let mut rev = ReconfigPlan::new();
+                        for action in plan.into_actions().into_iter().rev() {
+                            rev.push(action);
+                        }
+                        Intercession::Reconfigure(rev)
+                    }
+                    other => other,
+                })
+                .collect(),
+            _ => planned,
         }
     }
 }
@@ -246,6 +314,72 @@ mod tests {
         assert!(RepairPolicy::RestartInPlace
             .plan_for(NodeId(0), &snapshot())
             .is_empty());
+    }
+
+    #[test]
+    fn plan_mutations_corrupt_planning_in_the_named_way() {
+        let snap = snapshot();
+        let failover = RepairPolicy::FailoverMigrate;
+
+        // Unmutated planning is byte-identical to `plan_for` (compared
+        // via Debug: Intercession carries no PartialEq by design).
+        assert_eq!(
+            format!("{:?}", failover.plan_for_mutated(NodeId(1), &snap, None)),
+            format!("{:?}", failover.plan_for(NodeId(1), &snap))
+        );
+
+        // TargetSuspect migrates back onto the failed node itself.
+        let plans = failover.plan_for_mutated(NodeId(1), &snap, Some(PlanMutation::TargetSuspect));
+        let [Intercession::Reconfigure(plan)] = plans.as_slice() else {
+            panic!("expected one plan, got {plans:?}");
+        };
+        let ReconfigAction::Migrate { to, .. } = &plan.actions()[0] else {
+            panic!("expected migrate");
+        };
+        assert_eq!(*to, NodeId(1), "suspect-targeting mutant");
+
+        // TargetHottest picks the busiest live node (0 at 0.5, not 2 at 0.1).
+        let plans = failover.plan_for_mutated(NodeId(1), &snap, Some(PlanMutation::TargetHottest));
+        let [Intercession::Reconfigure(plan)] = plans.as_slice() else {
+            panic!("expected one plan, got {plans:?}");
+        };
+        let ReconfigAction::Migrate { to, .. } = &plan.actions()[0] else {
+            panic!("expected migrate");
+        };
+        assert_eq!(*to, NodeId(0), "hottest-targeting mutant");
+
+        // DropActions empties a plan that should have two repairs.
+        assert!(RepairPolicy::RestartInPlace
+            .plan_for_mutated(NodeId(1), &snap, Some(PlanMutation::DropActions))
+            .is_empty());
+
+        // ReverseActions flips the action order of the restart plan.
+        let fwd = RepairPolicy::RestartInPlace.plan_for(NodeId(1), &snap);
+        let rev = RepairPolicy::RestartInPlace.plan_for_mutated(
+            NodeId(1),
+            &snap,
+            Some(PlanMutation::ReverseActions),
+        );
+        let ([Intercession::Reconfigure(fwd_plan)], [Intercession::Reconfigure(rev_plan)]) =
+            (fwd.as_slice(), rev.as_slice())
+        else {
+            panic!("expected one plan each");
+        };
+        let names = |p: &ReconfigPlan| -> Vec<String> {
+            p.actions()
+                .iter()
+                .map(|a| {
+                    let ReconfigAction::SwapImplementation { name, .. } = a else {
+                        panic!("expected swap");
+                    };
+                    name.clone()
+                })
+                .collect()
+        };
+        let mut expected = names(fwd_plan);
+        expected.reverse();
+        assert_eq!(names(rev_plan), expected);
+        assert_eq!(PlanMutation::ReverseActions.label(), "reverse-actions");
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //!   implementation / interface), and reports with per-component blackouts.
 //! - [`detector`] — phi-accrual-style heartbeat failure detection over
 //!   virtual time (suspicion levels, configurable thresholds).
+//! - [`coverage`] — the adaptation-state-space odometer: which
+//!   (detector-phase × policy × plan-outcome) cells a run exercised.
 //! - [`heal`] — repair policies turning suspicions into intercessions:
 //!   restart-in-place, failover-migrate, degrade-to-backup.
 //! - [`raml`] — introspection snapshots, behavioural constraints, trigger
@@ -70,6 +72,7 @@
 pub mod component;
 pub mod config;
 pub mod connector;
+pub mod coverage;
 pub mod detector;
 pub mod error;
 pub mod heal;

@@ -75,6 +75,15 @@ impl Runtime {
             .set(drt.detector.suspected().len() as f64);
         let interval = drt.detector.config().interval;
         self.detector = Some(drt);
+        if events.is_empty() {
+            // A quiet tick: the detect→plan→repair loop idled under the
+            // policy in force — itself a coverage-worthy state.
+            self.coverage.record(
+                DetectPhase::Steady,
+                self.heal.policy.label(),
+                PlanOutcome::Observed,
+            );
+        }
         for ev in events {
             match ev {
                 DetectorEvent::Suspected(node, phi) => {
@@ -89,6 +98,11 @@ impl Runtime {
                     self.heal.repair_queue.insert(node);
                 }
                 DetectorEvent::Restored(node) => {
+                    self.coverage.record(
+                        DetectPhase::Restored,
+                        self.heal.policy.label(),
+                        PlanOutcome::Observed,
+                    );
                     self.obs
                         .audit
                         .failure_cleared(&node.to_string(), now.as_micros());

@@ -220,7 +220,13 @@ impl Runtime {
         );
         // A rejected repair leaves its node queued; the next detector tick
         // re-plans against the then-current topology.
-        self.heal.repair_pending.remove(&id);
+        if self.heal.repair_pending.remove(&id).is_some() {
+            self.coverage.record(
+                DetectPhase::Suspected,
+                self.heal.policy.label(),
+                PlanOutcome::Failed,
+            );
+        }
         let report = ReconfigReport {
             id,
             started_at: now,
@@ -898,6 +904,12 @@ impl Runtime {
         if let Some(node) = self.heal.repair_pending.remove(&exec.id) {
             if success {
                 self.complete_repair(&exec.id.to_string(), node, now);
+            } else {
+                self.coverage.record(
+                    DetectPhase::Suspected,
+                    self.heal.policy.label(),
+                    PlanOutcome::Failed,
+                );
             }
         }
         self.obs.tracer.span_end(exec.span, now.as_micros());

@@ -15,12 +15,23 @@ pub(super) struct HealState {
     pub(super) repair_queue: BTreeSet<NodeId>,
     /// In-flight repair plans and the node each one repairs.
     pub(super) repair_pending: BTreeMap<ReconfigId, NodeId>,
+    /// Installed planning corruption, if any (adversarial harness only).
+    pub(super) plan_mutation: Option<PlanMutation>,
 }
 
 impl Runtime {
     /// Sets the repair policy applied to suspected node failures.
     pub fn set_repair_policy(&mut self, policy: RepairPolicy) {
         self.heal.policy = policy;
+    }
+
+    /// Installs (or clears) a deliberate corruption of repair planning —
+    /// the seam the `aas-scenario` mutation engine flips to prove the
+    /// adversarial oracles catch broken adaptation logic. Never set in
+    /// production harnesses; `None` (the default) is byte-identical to
+    /// unmutated planning.
+    pub fn set_plan_mutation(&mut self, mutation: Option<PlanMutation>) {
+        self.heal.plan_mutation = mutation;
     }
 
     /// The repair policy in force.
@@ -43,7 +54,12 @@ impl Runtime {
     /// is retried on the next tick, so repair converges even when (say) a
     /// failover target dies mid-plan.
     pub(super) fn try_repairs(&mut self, now: SimTime) {
+        let label = self.heal.policy.label();
         if matches!(self.heal.policy, RepairPolicy::None) {
+            for _ in &self.heal.repair_queue {
+                self.coverage
+                    .record(DetectPhase::Suspected, label, PlanOutcome::Observed);
+            }
             self.heal.repair_queue.clear();
             return;
         }
@@ -52,11 +68,19 @@ impl Runtime {
                 continue; // a repair for this node is already in flight
             }
             if self.heal.policy.needs_node_back() && !self.kernel.topology().node(node).is_up() {
-                continue; // restart-in-place waits for the node's return
+                // restart-in-place waits for the node's return
+                self.coverage
+                    .record(DetectPhase::Suspected, label, PlanOutcome::Deferred);
+                continue;
             }
             let snap = self.observe();
-            let intercessions = self.heal.policy.plan_for(node, &snap);
+            let intercessions =
+                self.heal
+                    .policy
+                    .plan_for_mutated(node, &snap, self.heal.plan_mutation);
             if intercessions.is_empty() {
+                self.coverage
+                    .record(DetectPhase::Suspected, label, PlanOutcome::Observed);
                 self.heal.repair_queue.remove(&node);
                 self.heal.crash_times.remove(&node);
                 continue;
@@ -66,6 +90,8 @@ impl Runtime {
                     Intercession::Reconfigure(plan) => {
                         let detail =
                             format!("{}: {} actions", self.heal.policy.label(), plan.len());
+                        self.coverage
+                            .record(DetectPhase::Suspected, label, PlanOutcome::Planned);
                         let id = self.request_reconfig(plan);
                         self.obs.audit.repair_planned(
                             &id.to_string(),
@@ -85,7 +111,14 @@ impl Runtime {
                             .map(|r| r.success);
                         match sync {
                             Some(true) => self.complete_repair(&id.to_string(), node, now),
-                            Some(false) => {} // stays queued; next tick re-plans
+                            Some(false) => {
+                                // stays queued; next tick re-plans
+                                self.coverage.record(
+                                    DetectPhase::Suspected,
+                                    label,
+                                    PlanOutcome::Failed,
+                                );
+                            }
                             None => {
                                 self.heal.repair_pending.insert(id, node);
                             }
@@ -94,6 +127,8 @@ impl Runtime {
                     Intercession::AdaptConnector { name, spec } => {
                         // Lightweight path: the degraded connector mediates
                         // the very next message, so repair is immediate.
+                        self.coverage
+                            .record(DetectPhase::Suspected, label, PlanOutcome::Planned);
                         self.obs.audit.repair_planned(
                             "-",
                             &node.to_string(),
@@ -114,6 +149,11 @@ impl Runtime {
     /// Books a finished repair: MTTR observation, audit entry, queue
     /// cleanup.
     pub(super) fn complete_repair(&mut self, plan: &str, node: NodeId, now: SimTime) {
+        self.coverage.record(
+            DetectPhase::Suspected,
+            self.heal.policy.label(),
+            PlanOutcome::Completed,
+        );
         self.heal.repair_queue.remove(&node);
         let detail = match self.heal.crash_times.remove(&node) {
             Some(crash_at) => {

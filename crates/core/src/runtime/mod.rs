@@ -59,9 +59,10 @@
 use crate::component::{CallCtx, Component, ComponentId, Effect, Lifecycle};
 use crate::config::{BindingDecl, ComponentDecl, Configuration};
 use crate::connector::{Connector, ConnectorId, ConnectorSpec};
+use crate::coverage::{AdaptationCoverage, DetectPhase, PlanOutcome};
 use crate::detector::{DetectorConfig, DetectorEvent, FailureDetector};
 use crate::error::RuntimeError;
-use crate::heal::RepairPolicy;
+use crate::heal::{PlanMutation, RepairPolicy};
 use crate::message::{Message, MessageId, MessageKind, SequenceTracker, Value};
 use crate::raml::{
     ComponentObservation, ConnectorObservation, Intercession, NodeObservation, Raml, SystemSnapshot,
@@ -281,6 +282,8 @@ pub struct Runtime {
     /// Self-healing state: policy, crash times, repair queue (see
     /// [`heal_driver`]).
     heal: HealState,
+    /// Adaptation-state-space odometer (see [`crate::coverage`]).
+    coverage: AdaptationCoverage,
     events: Vec<(SimTime, RuntimeEvent)>,
     outbox: Vec<(SimTime, Message)>,
     obs: Obs,
@@ -331,6 +334,7 @@ impl Runtime {
             raml: None,
             detector: None,
             heal: HealState::default(),
+            coverage: AdaptationCoverage::new(),
             events: Vec::new(),
             outbox: Vec::new(),
             obs,
@@ -549,6 +553,15 @@ impl Runtime {
     #[must_use]
     pub fn kernel_counters(&self) -> aas_sim::stats::Counters {
         self.kernel.counters()
+    }
+
+    /// The adaptation-state-space odometer: every (detector-phase ×
+    /// repair-policy × plan-outcome) cell the detect→plan→repair loop has
+    /// visited so far. Harnesses clone and merge these across runs to
+    /// report coverage of [`crate::coverage::reachable_cells`].
+    #[must_use]
+    pub fn adaptation_coverage(&self) -> &AdaptationCoverage {
+        &self.coverage
     }
 
     /// Lifecycle of an instance, if it exists.

@@ -90,6 +90,37 @@ pub fn metrics_jsonl(snap: &MetricsSnapshot) -> String {
     out
 }
 
+/// Renders adaptation-coverage cells as JSONL: one object per cell, in
+/// the caller's (sorted, stable) order, so coverage regressions across
+/// PRs show up as line diffs. Each row is `(cell key, visit count,
+/// reachable-per-model flag)` — `aas-core`'s
+/// `AdaptationCoverage::export_rows` produces exactly this shape,
+/// including zero-count rows for reachable-but-unvisited cells.
+///
+/// # Examples
+///
+/// ```
+/// use aas_obs::export;
+///
+/// let rows = vec![("steady/failover/observed".to_owned(), 3, true)];
+/// assert_eq!(
+///     export::coverage_jsonl(&rows),
+///     "{\"type\":\"coverage_cell\",\"cell\":\"steady/failover/observed\",\"count\":3,\"reachable\":true}\n"
+/// );
+/// ```
+#[must_use]
+pub fn coverage_jsonl(rows: &[(String, u64, bool)]) -> String {
+    let mut out = String::new();
+    for (cell, count, reachable) in rows {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"coverage_cell\",\"cell\":\"{}\",\"count\":{count},\"reachable\":{reachable}}}",
+            escape(cell)
+        );
+    }
+    out
+}
+
 /// Renders audit entries as JSONL, one object per entry, in append order.
 #[must_use]
 pub fn audit_jsonl(entries: &[AuditEntry]) -> String {

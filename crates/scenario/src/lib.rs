@@ -1,0 +1,38 @@
+//! # aas-scenario — the adversarial scenario factory
+//!
+//! Correctness tooling (not product code) that gives the workspace an
+//! *artificial shaking table* in the sense of Munoz & Baudry and a
+//! model-driven mutation harness in the sense of Bartel et al. (see
+//! PAPERS.md): instead of validating the adaptive runtime against iid
+//! fault flaps, we generate **coordinated environment trajectories** and
+//! deliberately **break the adaptation logic itself**, then demand the
+//! oracles notice.
+//!
+//! - [`trajectory`] — the seeded trajectory factory: composes fault
+//!   storms *correlated with* diurnal/flash-crowd load overlays
+//!   (`aas-telecom`), mobility churn (`planet.rs`) and region-targeted
+//!   link flaps (`aas-topo` generated graphs) into deterministic,
+//!   byte-identically replayable [`ScenarioSchedule`]s that drive the
+//!   existing `FaultProcess`/kernel/runtime APIs.
+//! - [`mutation`] — the policy mutation engine: a catalogue of named
+//!   corruptions of the detect→plan→repair loop and the adaptation
+//!   filters/strategies, each run under factory scenarios against an
+//!   oracle suite (availability floor, exactly-once invariants, audit
+//!   reconciliation, detector sanity), yielding a mutation-kill score.
+//!   The same harness, unmutated, feeds `aas-core`'s adaptation-coverage
+//!   odometer to report how much of the detect→plan→repair state space a
+//!   test tier actually visits.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod mutation;
+pub mod trajectory;
+
+pub use mutation::{
+    coverage_sweep, CoverageReport, EngineReport, MutantVerdict, Mutation, ScenarioOutcome,
+};
+pub use trajectory::{
+    LoadWave, MobilityWave, ScenarioSchedule, ScenarioSpec, StormTargets, StormWave,
+};

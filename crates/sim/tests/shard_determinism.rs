@@ -346,6 +346,76 @@ fn sharded_kernel_matches_serial_deep() {
     }
 }
 
+/// The adversarial scenario factory's compiled trajectories are subject
+/// to the same contract as random op schedules: one `ScenarioSchedule`
+/// (region-storm link flaps, mobility rebinds and flash-crowd traffic
+/// over a generated tiered graph) replayed at K=1 inline and K=4 on real
+/// worker threads must drain byte-identically.
+#[test]
+fn factory_schedule_replays_identically_across_exec_modes() {
+    use aas_scenario::{LoadWave, MobilityWave, ScenarioSpec, StormWave};
+    use aas_sim::network::RegionId;
+    use aas_topo::tiered::TieredSpec;
+
+    for seed in [11u64, 47] {
+        let generated = TieredSpec::sized(200).generate(seed);
+        let mut spec = ScenarioSpec::new(seed, SimTime::from_secs(10), 4);
+        spec.load = LoadWave::flat(25.0).with_flash_crowd(
+            SimTime::from_secs(2),
+            SimTime::from_secs(5),
+            3.0,
+            SimDuration::from_millis(500),
+        );
+        spec.storms = vec![
+            StormWave::region_flaps(vec![RegionId(1), RegionId(2)], 3.0, 1.0)
+                .with_links_per_region(2),
+        ];
+        spec.mobility = Some(MobilityWave::new(6, SimDuration::from_millis(500)));
+        let schedule = spec.build_generated(&generated);
+
+        let run = |shards: u32, mode: ExecMode| {
+            let topo = TieredSpec::sized(200).generate(seed).topology;
+            let mut k: ShardedKernel<u64> = ShardedKernel::with_mode(topo, shards, mode);
+            let applied = schedule.apply_to_kernel(&mut k, 1024);
+            assert!(applied.sent > 0, "seed {seed}: schedule carries no traffic");
+            assert!(
+                applied.faults > 0,
+                "seed {seed}: schedule carries no faults"
+            );
+            assert!(
+                applied.rebinds > 0,
+                "seed {seed}: schedule carries no churn"
+            );
+            let events = k.drain();
+            let stats = k.stats();
+            assert_eq!(stats.early_crossings, 0, "K={shards}: early crossing");
+            assert_eq!(stats.overrun_events, 0, "K={shards}: shard overrun");
+            let mut log = String::new();
+            for e in &events {
+                use std::fmt::Write as _;
+                let _ = writeln!(log, "{} {} {:?}", e.at, e.key, e.what);
+            }
+            let counters: Vec<(String, u64)> = k
+                .counters()
+                .iter()
+                .map(|(n, v)| (n.to_owned(), v))
+                .collect();
+            (log, counters)
+        };
+        let (serial_log, serial_counters) = run(1, ExecMode::Inline);
+        let (sharded_log, sharded_counters) = run(4, ExecMode::Threads);
+        assert_eq!(
+            serial_log, sharded_log,
+            "seed {seed}: factory replay diverged across exec modes"
+        );
+        assert_eq!(
+            serial_counters, sharded_counters,
+            "seed {seed}: kernel counters diverge"
+        );
+        assert!(!serial_log.is_empty(), "seed {seed}: replay fired nothing");
+    }
+}
+
 /// K is a free parameter, not just 4: spot-check 2, 3 and 8 shards on a
 /// subset of seeds.
 #[test]

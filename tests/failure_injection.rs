@@ -63,6 +63,23 @@ fn frame() -> Message {
     )
 }
 
+/// Every schedule in this file must actually fire. A time or id typo
+/// that compiles to zero applied faults turns these tests into vacuous
+/// happy-path runs — the assertions about loss and recovery would pass
+/// without any failure ever being injected.
+fn assert_faults_fired(rt: &mut Runtime, at_least: usize) -> Vec<(SimTime, RuntimeEvent)> {
+    let events = rt.drain_events();
+    let fired = events
+        .iter()
+        .filter(|(_, e)| matches!(e, RuntimeEvent::Fault(_)))
+        .count();
+    assert!(
+        fired >= at_least,
+        "schedule silently no-opped: {fired} faults fired, wanted at least {at_least}"
+    );
+    events
+}
+
 #[test]
 fn link_outage_reroutes_traffic() {
     let mut rt = two_stage_runtime();
@@ -92,6 +109,7 @@ fn link_outage_reroutes_traffic() {
     // Latency during the outage was higher (the long way around).
     assert!(sink.p99_latency_ms > 15.0, "p99 {}", sink.p99_latency_ms);
     assert!(sink.mean_latency_ms > 5.0, "mean {}", sink.mean_latency_ms);
+    assert_faults_fired(&mut rt, 2); // LinkDown + LinkUp
 }
 
 #[test]
@@ -115,7 +133,7 @@ fn node_crash_drops_frames_and_recovery_resumes() {
     // The loss is visible as sequence gaps — exactly what the paper's
     // channel-preservation machinery is meant to surface.
     assert!(sink.seq_anomalies > 0);
-    let events = rt.drain_events();
+    let events = assert_faults_fired(&mut rt, 2); // NodeCrash + NodeRecover
     assert!(events
         .iter()
         .any(|(_, e)| matches!(e, RuntimeEvent::Fault(FaultKind::NodeCrash(_)))));
@@ -147,6 +165,7 @@ fn migration_to_node_that_dies_mid_plan_aborts_cleanly() {
     let snap = rt.observe();
     assert_eq!(snap.component("coder").unwrap().processed, 50);
     assert_eq!(snap.component("sink").unwrap().seq_anomalies, 0);
+    assert_faults_fired(&mut rt, 1); // the destination's NodeCrash
 }
 
 #[test]
@@ -171,6 +190,7 @@ fn crashed_host_component_recovers_with_node() {
         coder.processed
     );
     assert!(snap.node(NodeId(0)).unwrap().up);
+    assert_faults_fired(&mut rt, 2); // NodeCrash + NodeRecover
 }
 
 #[test]
@@ -227,4 +247,5 @@ fn fault_rule_migrates_components_off_crashed_node() {
     let coder = snap.component("coder").unwrap();
     assert!(coder.processed > 150, "resumed, got {}", coder.processed);
     assert!(!snap.node(NodeId(0)).unwrap().up);
+    assert_faults_fired(&mut rt, 1); // the permanent NodeCrash
 }

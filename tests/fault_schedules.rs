@@ -26,7 +26,7 @@ use aas_core::heal::RepairPolicy;
 use aas_core::message::{Message, Value};
 use aas_core::reconfig::{ReconfigAction, ReconfigPlan, StateTransfer};
 use aas_core::registry::ImplementationRegistry;
-use aas_core::runtime::Runtime;
+use aas_core::runtime::{Runtime, RuntimeEvent};
 use aas_obs::AuditKind;
 use aas_sim::fault::FaultSchedule;
 use aas_sim::link::LinkId;
@@ -242,6 +242,22 @@ fn drive(
         ids.push(rt.request_reconfig(m.plan()).to_string());
     }
     rt.run_until(END);
+    // Guard against silently no-opping schedules: every generated case
+    // carries at least one outage (crash/flap + recovery, all timed
+    // before END), so at least two fault events must actually fire. A
+    // generator or replay regression that compiled the schedule to
+    // nothing would otherwise turn every property into a vacuous
+    // happy-path run.
+    let fired = rt
+        .drain_events()
+        .iter()
+        .filter(|(_, e)| matches!(e, RuntimeEvent::Fault(_)))
+        .count();
+    assert!(
+        fired >= 2.min(faults.len() * 2),
+        "fault schedule silently no-opped: {fired} fault events fired for {} scheduled outages",
+        faults.len()
+    );
     (expected, ids)
 }
 
@@ -414,6 +430,16 @@ fn crash_loss_body(seed: u64, crash_at_ms: u64) -> Result<(), TestCaseError> {
     );
     rt.inject_faults(storm);
     rt.run_until(SimTime::from_secs(20));
+    let fired = rt
+        .drain_events()
+        .iter()
+        .filter(|(_, e)| matches!(e, RuntimeEvent::Fault(_)))
+        .count();
+    prop_assert!(
+        fired >= 2,
+        "outage silently no-opped: {} fault events",
+        fired
+    );
     let m = rt.metrics();
     prop_assert!(m.dropped_on_crash > 0, "crash caught nothing in flight");
     let entries = rt.obs().audit.entries();
