@@ -1,0 +1,28 @@
+//! E18 bench target: prints the digital-twin verification table
+//! (twin-guided vs static repair availability, MTTR, predicted-vs-actual
+//! error), writes the `BENCH_e18.json` artifact, and micro-measures one
+//! single-seed corpus comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let summary = aas_bench::e18::run_summary(&aas_bench::e18::seeds());
+    println!("{}", aas_bench::e18::render(&summary));
+    // Cargo runs bench binaries with cwd = the package root, so the
+    // artifact lands at crates/bench/BENCH_e18.json.
+    let json = aas_bench::e18::to_json(&summary);
+    if let Err(e) = std::fs::write("BENCH_e18.json", &json) {
+        eprintln!("could not write BENCH_e18.json: {e}");
+    }
+
+    c.bench_function("e18/comparison_one_seed", |b| {
+        b.iter(|| {
+            black_box(aas_scenario::twin_corpus::run_comparison(black_box(
+                aas_bench::e18::FAST_SEEDS[0],
+            )))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

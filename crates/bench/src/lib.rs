@@ -27,6 +27,7 @@ pub mod e14;
 pub mod e15;
 pub mod e16;
 pub mod e17;
+pub mod e18;
 pub mod table;
 
 pub use table::Table;

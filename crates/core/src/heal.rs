@@ -52,6 +52,10 @@ pub enum PlanMutation {
     /// Failover migrates to the *hottest* live node instead of the
     /// coolest (a flipped `min`/`max`).
     TargetHottest,
+    /// Restart plans swap to a version one higher than anything the
+    /// registry knows (a stale deployment manifest): the plan is
+    /// structurally well-formed but validation rejects it.
+    StaleVersion,
 }
 
 impl PlanMutation {
@@ -63,6 +67,7 @@ impl PlanMutation {
             PlanMutation::ReverseActions => "reverse-actions",
             PlanMutation::TargetSuspect => "target-suspect",
             PlanMutation::TargetHottest => "target-hottest",
+            PlanMutation::StaleVersion => "stale-version",
         }
     }
 }
@@ -140,12 +145,16 @@ impl RepairPolicy {
         let planned = match self {
             RepairPolicy::None => Vec::new(),
             RepairPolicy::RestartInPlace => {
+                let version_skew = match mutation {
+                    Some(PlanMutation::StaleVersion) => 1,
+                    _ => 0,
+                };
                 let mut plan = ReconfigPlan::new();
                 for c in hosted {
                     plan.push(ReconfigAction::SwapImplementation {
                         name: c.name.clone(),
                         type_name: c.type_name.clone(),
-                        version: c.version,
+                        version: c.version + version_skew,
                         transfer: StateTransfer::None,
                     });
                 }
@@ -380,6 +389,41 @@ mod tests {
         expected.reverse();
         assert_eq!(names(rev_plan), expected);
         assert_eq!(PlanMutation::ReverseActions.label(), "reverse-actions");
+    }
+
+    #[test]
+    fn stale_version_mutant_skews_restart_versions() {
+        let snap = snapshot();
+        let plans = RepairPolicy::RestartInPlace.plan_for_mutated(
+            NodeId(1),
+            &snap,
+            Some(PlanMutation::StaleVersion),
+        );
+        let [Intercession::Reconfigure(plan)] = plans.as_slice() else {
+            panic!("expected one plan, got {plans:?}");
+        };
+        for action in plan.actions() {
+            let ReconfigAction::SwapImplementation { version, .. } = action else {
+                panic!("expected swap, got {action}");
+            };
+            assert_eq!(*version, 2, "stale manifest points one version ahead");
+        }
+        // Failover planning is untouched by this mutant.
+        assert_eq!(
+            format!(
+                "{:?}",
+                RepairPolicy::FailoverMigrate.plan_for_mutated(
+                    NodeId(1),
+                    &snap,
+                    Some(PlanMutation::StaleVersion)
+                )
+            ),
+            format!(
+                "{:?}",
+                RepairPolicy::FailoverMigrate.plan_for(NodeId(1), &snap)
+            )
+        );
+        assert_eq!(PlanMutation::StaleVersion.label(), "stale-version");
     }
 
     #[test]

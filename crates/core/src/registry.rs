@@ -13,11 +13,15 @@ use crate::error::RuntimeError;
 use crate::message::Value;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Construction properties passed to a component factory.
 pub type Props = BTreeMap<String, Value>;
 
-type Factory = Box<dyn Fn(&Props) -> Box<dyn Component> + Send + Sync>;
+/// Factories are `Arc`ed so a cloned registry (a digital-twin fork's
+/// "code repository") shares the immutable factory code while owning its
+/// own key map.
+type Factory = Arc<dyn Fn(&Props) -> Box<dyn Component> + Send + Sync>;
 
 /// A registry of component implementations keyed by type name and version.
 ///
@@ -33,7 +37,7 @@ type Factory = Box<dyn Fn(&Props) -> Box<dyn Component> + Send + Sync>;
 /// assert_eq!(inst.type_name(), "Echo");
 /// assert_eq!(reg.latest_version("Echo"), Some(1));
 /// ```
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct ImplementationRegistry {
     factories: BTreeMap<(String, u32), Factory>,
 }
@@ -60,7 +64,7 @@ impl ImplementationRegistry {
         F: Fn(&Props) -> Box<dyn Component> + Send + Sync + 'static,
     {
         self.factories
-            .insert((type_name.into(), version), Box::new(factory));
+            .insert((type_name.into(), version), Arc::new(factory));
     }
 
     /// Whether `(type_name, version)` is registered.

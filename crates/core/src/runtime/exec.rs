@@ -219,13 +219,12 @@ impl Runtime {
             now.as_micros(),
         );
         // A rejected repair leaves its node queued; the next detector tick
-        // re-plans against the then-current topology.
-        if self.heal.repair_pending.remove(&id).is_some() {
-            self.coverage.record(
-                DetectPhase::Suspected,
-                self.heal.policy.label(),
-                PlanOutcome::Failed,
-            );
+        // re-plans against the then-current topology (falling back to the
+        // static policy if the rejected plan was twin-guided).
+        if let Some(p) = self.heal.repair_pending.remove(&id) {
+            self.coverage
+                .record(DetectPhase::Suspected, p.label, PlanOutcome::Failed);
+            self.twin_note_mainline_failure(p.node);
         }
         let report = ReconfigReport {
             id,
@@ -901,15 +900,13 @@ impl Runtime {
         // If this plan was a repair, book the outcome. On failure the node
         // stays queued and the next detector tick re-plans, so repair
         // keeps converging even when a target dies mid-plan.
-        if let Some(node) = self.heal.repair_pending.remove(&exec.id) {
+        if let Some(p) = self.heal.repair_pending.remove(&exec.id) {
             if success {
-                self.complete_repair(&exec.id.to_string(), node, now);
+                self.complete_repair(&exec.id.to_string(), p.node, p.label, now);
             } else {
-                self.coverage.record(
-                    DetectPhase::Suspected,
-                    self.heal.policy.label(),
-                    PlanOutcome::Failed,
-                );
+                self.coverage
+                    .record(DetectPhase::Suspected, p.label, PlanOutcome::Failed);
+                self.twin_note_mainline_failure(p.node);
             }
         }
         self.obs.tracer.span_end(exec.span, now.as_micros());

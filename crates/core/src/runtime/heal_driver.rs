@@ -1,9 +1,22 @@
 use super::*;
 use std::collections::BTreeSet;
 
+/// An in-flight repair plan: the node it repairs and the label of the
+/// policy that planned it — which, under twin guidance, may differ from
+/// the configured static policy, so completion/failure bookkeeping must
+/// be attributed to the policy that actually executed.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct PendingRepair {
+    /// The node under repair.
+    pub(super) node: NodeId,
+    /// Label of the policy whose plan is in flight.
+    pub(super) label: &'static str,
+}
+
 /// Grouped self-healing state: the repair policy, failure semantics and
-/// the bookkeeping that drives repair convergence.
-#[derive(Debug, Default)]
+/// the bookkeeping that drives repair convergence. `Clone` so a digital
+/// twin fork carries the full healing picture into its simulation.
+#[derive(Debug, Default, Clone)]
 pub(super) struct HealState {
     /// The repair policy applied to suspected node failures.
     pub(super) policy: RepairPolicy,
@@ -13,8 +26,8 @@ pub(super) struct HealState {
     pub(super) crash_times: BTreeMap<NodeId, SimTime>,
     /// Nodes awaiting a repair plan.
     pub(super) repair_queue: BTreeSet<NodeId>,
-    /// In-flight repair plans and the node each one repairs.
-    pub(super) repair_pending: BTreeMap<ReconfigId, NodeId>,
+    /// In-flight repair plans and what each one repairs.
+    pub(super) repair_pending: BTreeMap<ReconfigId, PendingRepair>,
     /// Installed planning corruption, if any (adversarial harness only).
     pub(super) plan_mutation: Option<PlanMutation>,
 }
@@ -53,9 +66,14 @@ impl Runtime {
     /// currently act on. A node whose repair plan fails stays queued and
     /// is retried on the next tick, so repair converges even when (say) a
     /// failover target dies mid-plan.
+    ///
+    /// With twin verification enabled ([`Runtime::enable_twin`]) the
+    /// policy applied to each node is the best scorer across the
+    /// candidate forks; otherwise — and whenever the twin abstains — it
+    /// is the static configured policy.
     pub(super) fn try_repairs(&mut self, now: SimTime) {
-        let label = self.heal.policy.label();
         if matches!(self.heal.policy, RepairPolicy::None) {
+            let label = self.heal.policy.label();
             for _ in &self.heal.repair_queue {
                 self.coverage
                     .record(DetectPhase::Suspected, label, PlanOutcome::Observed);
@@ -64,32 +82,35 @@ impl Runtime {
             return;
         }
         for node in self.heal.repair_queue.clone() {
-            if self.heal.repair_pending.values().any(|n| *n == node) {
+            if self.heal.repair_pending.values().any(|p| p.node == node) {
                 continue; // a repair for this node is already in flight
             }
-            if self.heal.policy.needs_node_back() && !self.kernel.topology().node(node).is_up() {
+            let policy = match self.twin_select_policy(node, now) {
+                Some(chosen) => chosen,
+                None => self.heal.policy.clone(),
+            };
+            let label = policy.label();
+            if policy.needs_node_back() && !self.kernel.topology().node(node).is_up() {
                 // restart-in-place waits for the node's return
                 self.coverage
                     .record(DetectPhase::Suspected, label, PlanOutcome::Deferred);
                 continue;
             }
             let snap = self.observe();
-            let intercessions =
-                self.heal
-                    .policy
-                    .plan_for_mutated(node, &snap, self.heal.plan_mutation);
+            let intercessions = policy.plan_for_mutated(node, &snap, self.heal.plan_mutation);
             if intercessions.is_empty() {
                 self.coverage
                     .record(DetectPhase::Suspected, label, PlanOutcome::Observed);
                 self.heal.repair_queue.remove(&node);
                 self.heal.crash_times.remove(&node);
+                self.twin.predictions.remove(&node);
+                self.twin.fallback.remove(&node);
                 continue;
             }
             for cmd in intercessions {
                 match cmd {
                     Intercession::Reconfigure(plan) => {
-                        let detail =
-                            format!("{}: {} actions", self.heal.policy.label(), plan.len());
+                        let detail = format!("{label}: {} actions", plan.len());
                         self.coverage
                             .record(DetectPhase::Suspected, label, PlanOutcome::Planned);
                         let id = self.request_reconfig(plan);
@@ -110,7 +131,9 @@ impl Runtime {
                             .find(|r| r.id == id)
                             .map(|r| r.success);
                         match sync {
-                            Some(true) => self.complete_repair(&id.to_string(), node, now),
+                            Some(true) => {
+                                self.complete_repair(&id.to_string(), node, label, now);
+                            }
                             Some(false) => {
                                 // stays queued; next tick re-plans
                                 self.coverage.record(
@@ -118,9 +141,12 @@ impl Runtime {
                                     label,
                                     PlanOutcome::Failed,
                                 );
+                                self.twin_note_mainline_failure(node);
                             }
                             None => {
-                                self.heal.repair_pending.insert(id, node);
+                                self.heal
+                                    .repair_pending
+                                    .insert(id, PendingRepair { node, label });
                             }
                         }
                     }
@@ -132,11 +158,11 @@ impl Runtime {
                         self.obs.audit.repair_planned(
                             "-",
                             &node.to_string(),
-                            &format!("{}: adapt connector `{name}`", self.heal.policy.label()),
+                            &format!("{label}: adapt connector `{name}`"),
                             now.as_micros(),
                         );
                         let _ = self.adapt_connector(&name, spec);
-                        self.complete_repair("-", node, now);
+                        self.complete_repair("-", node, label, now);
                     }
                     Intercession::Notify(text) => {
                         self.events.push((now, RuntimeEvent::Notify(text)));
@@ -147,25 +173,30 @@ impl Runtime {
     }
 
     /// Books a finished repair: MTTR observation, audit entry, queue
-    /// cleanup.
-    pub(super) fn complete_repair(&mut self, plan: &str, node: NodeId, now: SimTime) {
-        self.coverage.record(
-            DetectPhase::Suspected,
-            self.heal.policy.label(),
-            PlanOutcome::Completed,
-        );
+    /// cleanup, twin reconciliation. `label` is the policy that actually
+    /// executed (the twin's choice, or the static policy).
+    pub(super) fn complete_repair(
+        &mut self,
+        plan: &str,
+        node: NodeId,
+        label: &'static str,
+        now: SimTime,
+    ) {
+        self.coverage
+            .record(DetectPhase::Suspected, label, PlanOutcome::Completed);
         self.heal.repair_queue.remove(&node);
-        let detail = match self.heal.crash_times.remove(&node) {
+        let (detail, mttr) = match self.heal.crash_times.remove(&node) {
             Some(crash_at) => {
                 let mttr = ms(now.saturating_since(crash_at));
                 self.m.mttr.observe(mttr);
-                format!("mttr_ms={mttr:.3}")
+                (format!("mttr_ms={mttr:.3}"), Some(mttr))
             }
-            None => "repaired".to_owned(),
+            None => ("repaired".to_owned(), None),
         };
         self.obs
             .audit
             .repair_completed(plan, &node.to_string(), &detail, now.as_micros());
+        self.twin_reconcile(node, label, mttr, now);
     }
 
     /// Topology-fault bookkeeping, independent of (and before) RAML fault
@@ -203,7 +234,7 @@ impl Runtime {
                 // If the incident closed with nothing to repair (or no
                 // policy), stop timing it — the next crash is a new one.
                 if !self.heal.repair_queue.contains(&node)
-                    && !self.heal.repair_pending.values().any(|n| *n == node)
+                    && !self.heal.repair_pending.values().any(|p| p.node == node)
                 {
                     self.heal.crash_times.remove(&node);
                 }

@@ -88,13 +88,16 @@ mod metrics;
 mod structure;
 #[cfg(test)]
 mod tests;
+mod twin;
 mod validate;
 
 pub use metrics::RuntimeMetrics;
+pub use twin::{TwinConfig, TwinPrediction};
 
 use exec::ExecState;
 use heal_driver::HealState;
 use metrics::MetricHandles;
+use twin::TwinState;
 
 /// The sender name used for injected (external) workload messages.
 pub const EXTERNAL: &str = "external";
@@ -183,13 +186,13 @@ struct Instance {
     blocked_at: Option<SimTime>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct BindingRt {
     decl: BindingDecl,
     channels: Vec<ChannelId>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum TimerPurpose {
     JobDone {
         instance: String,
@@ -215,7 +218,7 @@ enum TimerPurpose {
 
 /// The failure detector plus its heartbeat transport: one kernel channel
 /// per watched node, converging on the monitor node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct DetectorRt {
     detector: FailureDetector,
     hb_channels: BTreeMap<NodeId, ChannelId>,
@@ -282,6 +285,8 @@ pub struct Runtime {
     /// Self-healing state: policy, crash times, repair queue (see
     /// [`heal_driver`]).
     heal: HealState,
+    /// Digital-twin plan verification state (see [`twin`]).
+    twin: TwinState,
     /// Adaptation-state-space odometer (see [`crate::coverage`]).
     coverage: AdaptationCoverage,
     events: Vec<(SimTime, RuntimeEvent)>,
@@ -334,6 +339,7 @@ impl Runtime {
             raml: None,
             detector: None,
             heal: HealState::default(),
+            twin: TwinState::default(),
             coverage: AdaptationCoverage::new(),
             events: Vec::new(),
             outbox: Vec::new(),

@@ -1,0 +1,357 @@
+//! Digital-twin plan verification (DESIGN.md §2.9).
+//!
+//! The paper's prospective vision asks adaptive systems to *reason about*
+//! a reconfiguration before enacting it, not merely validate it
+//! structurally. This module does that literally: before the heal driver
+//! commits to a repair policy, each candidate is played forward on its own
+//! [`Runtime::fork_twin`] — an isolated clone of the whole runtime over a
+//! forked kernel — for a bounded simulated horizon, and the best-scoring
+//! plan wins. The twin is *predictive*, not merely reactive: the forked
+//! kernel queue carries the already-injected fault schedule, so a fork
+//! sees the node recovery (or continued outage) the mainline is about to
+//! experience.
+//!
+//! Isolation guarantees (checked by `twin_verification` tests):
+//!
+//! - the fork shares **no** mutable state with the mainline — the kernel
+//!   is forked ([`aas_sim::kernel::Kernel::fork`]), components are
+//!   re-instantiated from the registry and restored from snapshots, and
+//!   metrics/audit go to a throwaway [`Obs`] bundle;
+//! - dropping (or running) a twin leaves the mainline's fingerprints,
+//!   metrics, audit log and RNG stream untouched;
+//! - selection is deterministic: same runtime state, same forks, same
+//!   scores, same choice.
+//!
+//! When the forks disagree within the configured margin, every candidate
+//! times out, a fork cannot be taken (mid-transaction), or a twin-guided
+//! plan already failed on the mainline this incident, the driver falls
+//! back to the fixed static policy — twin guidance never makes repair
+//! *less* available than the E12 baseline.
+
+use super::*;
+use std::collections::BTreeSet;
+
+/// Configuration of the digital-twin plan verifier.
+#[derive(Debug, Clone)]
+pub struct TwinConfig {
+    /// How far past "now" each candidate fork is simulated.
+    pub horizon: SimDuration,
+    /// Event budget per fork; exceeding it counts as a fork timeout.
+    pub max_events: u64,
+    /// Availability edge required between the winner and the runner-up
+    /// before the twin's choice is considered decisive.
+    pub margin: f64,
+    /// Candidate repair policies, scored in order.
+    pub candidates: Vec<RepairPolicy>,
+}
+
+impl Default for TwinConfig {
+    fn default() -> Self {
+        TwinConfig {
+            horizon: SimDuration::from_secs(4),
+            max_events: 50_000,
+            margin: 0.005,
+            candidates: vec![RepairPolicy::RestartInPlace, RepairPolicy::FailoverMigrate],
+        }
+    }
+}
+
+/// What one candidate's fork predicted.
+#[derive(Debug, Clone)]
+pub struct TwinPrediction {
+    /// Label of the candidate policy this prediction belongs to.
+    pub policy_label: &'static str,
+    /// Predicted availability at the horizon: the fraction of component
+    /// instances in [`Lifecycle::Active`].
+    pub availability: f64,
+    /// Predicted time-to-repair in milliseconds (the full horizon when
+    /// the fork did not complete the repair).
+    pub mttr_ms: f64,
+    /// Whether the fork completed the repair within the horizon.
+    pub repaired: bool,
+}
+
+/// Twin bookkeeping hung off the runtime.
+#[derive(Debug, Default)]
+pub(super) struct TwinState {
+    /// Twin verification is active iff this is set.
+    pub(super) config: Option<TwinConfig>,
+    /// Outstanding predictions awaiting reconciliation, per repaired node.
+    pub(super) predictions: BTreeMap<NodeId, TwinPrediction>,
+    /// Nodes whose twin-guided repair failed on the mainline during the
+    /// current incident: fall back to the static policy until it closes.
+    pub(super) fallback: BTreeSet<NodeId>,
+}
+
+impl Runtime {
+    /// Enables digital-twin plan verification: from now on the heal
+    /// driver simulates `config.candidates` on forks and picks the best
+    /// scorer instead of always applying the static policy.
+    pub fn enable_twin(&mut self, config: TwinConfig) {
+        self.twin.config = Some(config);
+    }
+
+    /// Disables twin verification (the static policy applies again).
+    pub fn disable_twin(&mut self) {
+        self.twin.config = None;
+    }
+
+    /// The outstanding twin prediction for `node`, if a twin-guided
+    /// repair of it is in flight.
+    #[must_use]
+    pub fn twin_prediction(&self, node: NodeId) -> Option<&TwinPrediction> {
+        self.twin.predictions.get(&node)
+    }
+
+    /// Forks the runtime into an isolated digital twin.
+    ///
+    /// The twin owns a forked kernel (same pending events, channel
+    /// halves, RNG stream), re-instantiated components restored from the
+    /// originals' snapshots, cloned connectors/bindings/timers/detector/
+    /// heal state — and a **throwaway** [`Obs`] bundle, so nothing the
+    /// twin does shows up in mainline metrics, traces or the audit log.
+    /// The twin's RAML meta-level is detached and its own twin config is
+    /// unset (forks never fork recursively).
+    ///
+    /// Returns `None` while a reconfiguration transaction is active or
+    /// queued (mid-transaction journals hold live component state that
+    /// cannot be duplicated), or if any component fails to re-instantiate
+    /// or restore.
+    #[must_use]
+    pub fn fork_twin(&self) -> Option<Runtime> {
+        if self.exec.active.is_some() || !self.exec.queued.is_empty() {
+            return None;
+        }
+        let obs = Obs::new();
+        let mut kernel = self.kernel.fork();
+        kernel.set_tracer(obs.tracer.clone());
+        let m = MetricHandles::with_shards(&obs, self.shard_map.count());
+        let mut instances = BTreeMap::new();
+        for (name, inst) in &self.instances {
+            let mut component = self
+                .registry
+                .instantiate(&inst.type_name, inst.version, &inst.props)
+                .ok()?;
+            component.restore(&inst.component.snapshot()).ok()?;
+            let custom = inst
+                .custom
+                .keys()
+                .map(|k| {
+                    (
+                        k.clone(),
+                        obs.metrics.histogram(&format!("comp.{name}.{k}")),
+                    )
+                })
+                .collect();
+            instances.insert(
+                name.clone(),
+                Instance {
+                    id: inst.id,
+                    node: inst.node,
+                    type_name: inst.type_name.clone(),
+                    version: inst.version,
+                    props: inst.props.clone(),
+                    component,
+                    lifecycle: inst.lifecycle,
+                    inflight: inst.inflight,
+                    processed: inst.processed,
+                    errors: inst.errors,
+                    latency: obs.metrics.histogram(&format!("comp.{name}.latency_ms")),
+                    tracker: inst.tracker.clone(),
+                    custom,
+                    blocked_at: inst.blocked_at,
+                },
+            );
+        }
+        Some(Runtime {
+            kernel,
+            registry: self.registry.clone(),
+            instances,
+            connectors: self.connectors.clone(),
+            bindings: self.bindings.clone(),
+            external_channels: self.external_channels.clone(),
+            reply_channels: self.reply_channels.clone(),
+            timers: self.timers.clone(),
+            flow_seq: self.flow_seq.clone(),
+            seq_key_buf: String::new(),
+            pending_requests: self.pending_requests.clone(),
+            next_msg_id: self.next_msg_id,
+            next_component_id: self.next_component_id,
+            next_connector_id: self.next_connector_id,
+            pending_connector_swaps: self.pending_connector_swaps.clone(),
+            exec: ExecState {
+                last_id: self.exec.last_id,
+                ..ExecState::default()
+            },
+            raml: None,
+            detector: self.detector.clone(),
+            heal: self.heal.clone(),
+            coverage: AdaptationCoverage::new(),
+            events: Vec::new(),
+            outbox: Vec::new(),
+            obs,
+            m,
+            shard_map: self.shard_map.clone(),
+            twin: TwinState::default(),
+        })
+    }
+
+    /// Scores every candidate policy on its own fork and returns the
+    /// decisively best one, or `None` to fall back to the static policy
+    /// (twin disabled, fork refused, all candidates timed out or failed,
+    /// forks within the margin of each other, or a twin-guided plan
+    /// already failed on the mainline this incident).
+    pub(super) fn twin_select_policy(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+    ) -> Option<RepairPolicy> {
+        let config = self.twin.config.clone()?;
+        if self.twin.fallback.contains(&node) {
+            return None;
+        }
+        // Re-planning the same incident (e.g. restart deferred until the
+        // node returns) sticks with the outstanding prediction so the
+        // choice is stable across detector ticks.
+        if let Some(p) = self.twin.predictions.get(&node) {
+            return config
+                .candidates
+                .iter()
+                .find(|c| c.label() == p.policy_label)
+                .cloned();
+        }
+        let crash_at = self.heal.crash_times.get(&node).copied();
+        let mut scored: Vec<(RepairPolicy, TwinPrediction)> = Vec::new();
+        for candidate in &config.candidates {
+            if let Some(pred) = self.simulate_candidate(candidate, node, crash_at, &config, now) {
+                scored.push((candidate.clone(), pred));
+            }
+        }
+        scored.sort_by(|a, b| {
+            b.1.availability
+                .partial_cmp(&a.1.availability)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    a.1.mttr_ms
+                        .partial_cmp(&b.1.mttr_ms)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        });
+        let best = scored.first()?;
+        if !best.1.repaired {
+            return None; // no fork repaired within the horizon
+        }
+        if let Some(second) = scored.get(1) {
+            let decisive = best.1.availability - second.1.availability > config.margin
+                || second.1.mttr_ms - best.1.mttr_ms > 1.0;
+            if !decisive {
+                return None; // the forks disagree on nothing measurable
+            }
+        }
+        let (policy, pred) = best.clone();
+        self.obs.audit.twin_predicted(
+            pred.policy_label,
+            &node.to_string(),
+            &format!(
+                "availability={:.4} mttr_ms={:.3}",
+                pred.availability, pred.mttr_ms
+            ),
+            now.as_micros(),
+        );
+        self.twin.predictions.insert(node, pred);
+        Some(policy)
+    }
+
+    /// Runs one candidate policy forward on a fresh fork for the
+    /// configured horizon and scores the outcome. `None` means the fork
+    /// could not be taken or blew its event budget (a timeout).
+    fn simulate_candidate(
+        &self,
+        candidate: &RepairPolicy,
+        node: NodeId,
+        crash_at: Option<SimTime>,
+        config: &TwinConfig,
+        now: SimTime,
+    ) -> Option<TwinPrediction> {
+        let mut fork = self.fork_twin()?;
+        fork.heal.policy = candidate.clone();
+        fork.heal.repair_queue.insert(node);
+        fork.try_repairs(now);
+        let deadline = now + config.horizon;
+        let mut events = 0u64;
+        while fork.kernel.next_event_time().is_some_and(|t| t <= deadline) {
+            events += 1;
+            if events > config.max_events {
+                return None;
+            }
+            let _ = fork.step();
+        }
+        let repaired = !fork.heal.repair_queue.contains(&node)
+            && !fork.heal.repair_pending.values().any(|p| p.node == node);
+        let total = fork.instances.len().max(1);
+        let active = fork
+            .instances
+            .values()
+            .filter(|i| i.lifecycle == Lifecycle::Active)
+            .count();
+        let availability = active as f64 / total as f64;
+        let mttr_ms = if repaired {
+            let node_str = node.to_string();
+            let completed = fork
+                .obs
+                .audit
+                .of_kind(aas_obs::AuditKind::RepairCompleted)
+                .into_iter()
+                .rev()
+                .find(|e| e.subject == node_str)
+                .map(|e| e.at_us);
+            match (completed, crash_at) {
+                (Some(at_us), Some(c)) => at_us.saturating_sub(c.as_micros()) as f64 / 1e3,
+                _ => 0.0,
+            }
+        } else {
+            ms(config.horizon)
+        };
+        Some(TwinPrediction {
+            policy_label: candidate.label(),
+            availability,
+            mttr_ms,
+            repaired,
+        })
+    }
+
+    /// Reconciles a completed repair against its outstanding prediction:
+    /// emits the `twin_actual` audit entry that pairs with the earlier
+    /// `twin_predicted`, and closes the incident's fallback latch.
+    pub(super) fn twin_reconcile(
+        &mut self,
+        node: NodeId,
+        label: &'static str,
+        mttr_ms: Option<f64>,
+        now: SimTime,
+    ) {
+        self.twin.fallback.remove(&node);
+        if let Some(pred) = self.twin.predictions.remove(&node) {
+            let actual = mttr_ms.map_or("actual_mttr_ms=na".to_owned(), |v| {
+                format!("actual_mttr_ms={v:.3}")
+            });
+            self.obs.audit.twin_actual(
+                label,
+                &node.to_string(),
+                &format!(
+                    "{actual} predicted_mttr_ms={:.3} predicted_availability={:.4}",
+                    pred.mttr_ms, pred.availability
+                ),
+                now.as_micros(),
+            );
+        }
+    }
+
+    /// Notes that a twin-guided plan failed on the mainline: the incident
+    /// falls back to the static policy from the next tick on.
+    pub(super) fn twin_note_mainline_failure(&mut self, node: NodeId) {
+        if self.twin.predictions.remove(&node).is_some() {
+            self.twin.fallback.insert(node);
+        }
+    }
+}

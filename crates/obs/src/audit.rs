@@ -44,6 +44,13 @@ pub enum AuditKind {
     RepairCompleted,
     /// Messages queued on a node at crash time were discarded.
     DroppedOnCrash,
+    /// A digital-twin fork predicted the outcome of a repair plan before
+    /// it was committed to the mainline.
+    TwinPredicted,
+    /// The actual, measured outcome of a twin-verified repair; pairs with
+    /// the matching [`AuditKind::TwinPredicted`] entry so prediction error
+    /// is reconcilable from the log alone.
+    TwinActual,
 }
 
 impl AuditKind {
@@ -66,6 +73,8 @@ impl AuditKind {
             AuditKind::RepairPlanned => "repair_planned",
             AuditKind::RepairCompleted => "repair_completed",
             AuditKind::DroppedOnCrash => "dropped_on_crash",
+            AuditKind::TwinPredicted => "twin_predicted",
+            AuditKind::TwinActual => "twin_actual",
         }
     }
 }
@@ -213,6 +222,20 @@ impl AuditLog {
         self.append(at_us, AuditKind::DroppedOnCrash, "", subject, detail);
     }
 
+    /// Records a digital-twin prediction for the repair of `subject` (the
+    /// failed node): `plan` names the chosen policy, `detail` carries the
+    /// predicted scores (availability, MTTR, latency).
+    pub fn twin_predicted(&self, plan: &str, subject: &str, detail: &str, at_us: u64) {
+        self.append(at_us, AuditKind::TwinPredicted, plan, subject, detail);
+    }
+
+    /// Records the measured outcome of a twin-verified repair of
+    /// `subject`; `detail` carries the actual values next to the
+    /// prediction they reconcile against.
+    pub fn twin_actual(&self, plan: &str, subject: &str, detail: &str, at_us: u64) {
+        self.append(at_us, AuditKind::TwinActual, plan, subject, detail);
+    }
+
     /// Number of entries.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -334,6 +357,28 @@ mod tests {
         assert_eq!(AuditKind::PlanRejected.label(), "plan_rejected");
         assert_eq!(AuditKind::PlanRolledBack.label(), "plan_rolled_back");
         assert_eq!(AuditKind::ActionCompensated.label(), "action_compensated");
+    }
+
+    #[test]
+    fn twin_kinds_round_trip() {
+        let log = AuditLog::new();
+        log.twin_predicted(
+            "restart",
+            "node2",
+            "availability=0.97 mttr_ms=310 latency_ms=4.1",
+            10,
+        );
+        log.twin_actual(
+            "restart",
+            "node2",
+            "availability=0.95 mttr_ms=402 predicted_mttr_ms=310",
+            500,
+        );
+        assert_eq!(log.of_kind(AuditKind::TwinPredicted)[0].subject, "node2");
+        assert_eq!(log.of_kind(AuditKind::TwinActual)[0].plan, "restart");
+        assert_eq!(AuditKind::TwinPredicted.label(), "twin_predicted");
+        assert_eq!(AuditKind::TwinActual.label(), "twin_actual");
+        assert_eq!(log.len(), 2);
     }
 
     #[test]

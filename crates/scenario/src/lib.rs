@@ -22,6 +22,11 @@
 //!   The same harness, unmutated, feeds `aas-core`'s adaptation-coverage
 //!   odometer to report how much of the detect→plan→repair state space a
 //!   test tier actually visits.
+//! - [`twin_corpus`] — the E18 comparison harness: every factory storm
+//!   trajectory replayed twice, once under the static E12 failover
+//!   policy and once with digital-twin plan verification
+//!   (`aas-core`'s `Runtime::enable_twin`) choosing each repair, with
+//!   availability, MTTR and predicted-vs-actual error per seed.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -29,6 +34,7 @@
 
 pub mod mutation;
 pub mod trajectory;
+pub mod twin_corpus;
 
 pub use mutation::{
     coverage_sweep, CoverageReport, EngineReport, MutantVerdict, Mutation, ScenarioOutcome,
@@ -36,3 +42,4 @@ pub use mutation::{
 pub use trajectory::{
     LoadWave, MobilityWave, ScenarioSchedule, ScenarioSpec, StormTargets, StormWave,
 };
+pub use twin_corpus::{run_twin_corpus, TwinComparison, TwinCorpusReport};

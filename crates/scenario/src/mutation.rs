@@ -54,9 +54,9 @@ use crate::trajectory::{fnv1a, LoadWave, ScenarioSchedule, ScenarioSpec, StormWa
 const NODES: usize = 5;
 const MONITOR: NodeId = NodeId(0);
 /// The node the oracle scenario's fault storm shakes.
-const STORM_NODE: NodeId = NodeId(2);
+pub(crate) const STORM_NODE: NodeId = NodeId(2);
 /// Grace period past the trajectory horizon: plans drain, suspicions clear.
-const END: SimTime = SimTime::from_secs(40);
+pub(crate) const END: SimTime = SimTime::from_secs(40);
 /// Trajectory horizon: traffic and outage onsets all land before this.
 const HORIZON: SimTime = SimTime::from_secs(16);
 /// Chaos-path delivery floor the availability oracle demands.
@@ -213,13 +213,13 @@ pub fn harness_topology() -> Topology {
     Topology::clique(NODES, 2000.0, SimDuration::from_millis(2), 1e7)
 }
 
-fn registry() -> ImplementationRegistry {
+pub(crate) fn registry() -> ImplementationRegistry {
     let mut r = ImplementationRegistry::new();
     register_telecom_components(&mut r);
     r
 }
 
-fn frame(cost: f64) -> Message {
+pub(crate) fn frame(cost: f64) -> Message {
     Message::event(
         "frame",
         Value::map([
@@ -233,7 +233,12 @@ fn frame(cost: f64) -> Message {
 /// Safe pipeline `relay → safesink` on nodes {0, 1}; chaos pipeline
 /// `svc → csink` on nodes {2, 3} behind a retrying connector; optional
 /// furnace pair on node 4 that the hot-load wave saturates.
-fn build_runtime(seed: u64, policy: RepairPolicy, threshold: f64, furnace: bool) -> Runtime {
+pub(crate) fn build_runtime(
+    seed: u64,
+    policy: RepairPolicy,
+    threshold: f64,
+    furnace: bool,
+) -> Runtime {
     let mut rt = Runtime::new(harness_topology(), seed, registry());
     let mut cfg = Configuration::new();
     cfg.component("relay", ComponentDecl::new("Transcoder", 1, NodeId(0)));
@@ -267,7 +272,11 @@ fn build_runtime(seed: u64, policy: RepairPolicy, threshold: f64, furnace: bool)
 /// Replays the schedule's faults and traffic (even flows → safe path,
 /// odd flows → chaos path), optionally stokes the furnace, and runs the
 /// universe to the grace deadline. Returns (safe, chaos) frame counts.
-fn drive_schedule(rt: &mut Runtime, schedule: &ScenarioSchedule, furnace: bool) -> (u64, u64) {
+pub(crate) fn drive_schedule(
+    rt: &mut Runtime,
+    schedule: &ScenarioSchedule,
+    furnace: bool,
+) -> (u64, u64) {
     rt.inject_faults(schedule.faults.clone());
     let (mut safe, mut chaos) = (0u64, 0u64);
     for (at, flow) in &schedule.traffic {

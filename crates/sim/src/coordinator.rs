@@ -33,10 +33,11 @@
 //! harness in `tests/shard_determinism.rs` checks all of this byte for
 //! byte against K=1.
 
-use crate::channel::{ChannelId, ChannelStats};
+use crate::channel::{Channel, ChannelId, ChannelStats};
+use crate::event::EventQueue;
 use crate::fault::{FaultKind, FaultSchedule};
 use crate::hier::HierStats;
-use crate::kernel::KernelCounter;
+use crate::kernel::{Kernel, KernelCounter, KernelEvent};
 use crate::link::LinkId;
 use crate::network::{RouteCacheStats, Topology};
 use crate::node::NodeId;
@@ -171,7 +172,7 @@ impl ShardedStats {
 /// The parallel kernel: K shard event loops, deterministic epoch
 /// barriers, byte-identical merged output at any K.
 ///
-/// The API mirrors [`Kernel`](crate::kernel::Kernel) where the semantics
+/// The API mirrors [`Kernel`] where the semantics
 /// match, with one structural difference: because shards run whole
 /// windows at a time, occurrences are returned in batches from
 /// [`ShardedKernel::run_until`] / [`ShardedKernel::drain`] instead of
@@ -1034,6 +1035,144 @@ impl<M: Send + 'static> ShardedKernel<M> {
         }
         global.absorb(&self.coord_reg.snapshot());
         global.snapshot()
+    }
+}
+
+impl<M: Send + Clone + 'static> ShardedKernel<M> {
+    /// The RNG seed every serial projection starts from. The sharded
+    /// kernel owns no RNG stream (randomness lives with the caller), so
+    /// the projected [`Kernel`]'s stream has to begin somewhere fixed and
+    /// documented; callers that need a different stream can draw from
+    /// their own RNG and discard the projection's.
+    pub const FORK_SEED: u64 = 0x5eed_f02c;
+
+    /// Projects the sharded kernel onto a serial [`Kernel`] fork.
+    ///
+    /// This is the sharded half of the snapshot-and-fork story: at a
+    /// barrier, every shard's pending events, channel halves and counters
+    /// are stitched back into one serial kernel that shares no state with
+    /// the coordinator or its workers. The projection is only faithful
+    /// when nothing is "in between" representations, so it returns `None`
+    /// when:
+    ///
+    /// - synchronous commands (faults, blocks, closes, rebinds) are still
+    ///   queued coordinator-side — they execute outside shard state and
+    ///   cannot be replayed by a serial kernel, or
+    /// - any shard still holds an un-routed `ShardEvent::SendCmd` — the
+    ///   serial kernel routes at `send` time while shards route at the
+    ///   command's scheduled time, so the projection must wait until all
+    ///   sends have routed (i.e. fork after a `drain()`/barrier, not
+    ///   between `send` and `step`).
+    ///
+    /// Pending deliveries and timers re-enter the serial queue in the
+    /// sharded total order `(time, key)`; the serial queue's insertion-seq
+    /// tie-break then reproduces that order exactly, so a drain of the
+    /// fork fires the same events at the same times as a drain of the
+    /// sharded mainline (see `tests/fork_determinism.rs`).
+    pub fn fork_serial(&self) -> Option<Kernel<M>> {
+        if !self.sync.is_empty() {
+            return None;
+        }
+        let world = self.shared.world.read().expect("world lock");
+        let cores: Vec<MutexGuard<'_, ShardCore<M>>> = self
+            .shared
+            .shards
+            .iter()
+            .map(|m| m.lock().expect("shard lock"))
+            .collect();
+
+        let mut counters = self.coord_counters;
+        let mut hier = false;
+        let mut pending: Vec<(SimTime, EventKey, KernelEvent<M>)> = Vec::new();
+        for core in &cores {
+            hier |= core.hier.is_some();
+            for (i, c) in core.counters.iter().enumerate() {
+                counters[i] += c;
+            }
+            for e in core.queue.iter().chain(core.inbox.iter()) {
+                match &e.ev {
+                    ShardEvent::SendCmd { .. } => return None,
+                    ShardEvent::Deliver {
+                        ch,
+                        msg,
+                        size,
+                        sent_at,
+                    } => pending.push((
+                        e.at,
+                        e.key,
+                        KernelEvent::Deliver {
+                            channel: *ch,
+                            msg: msg.clone(),
+                            size: *size,
+                            sent_at: *sent_at,
+                        },
+                    )),
+                    ShardEvent::Timer { tag } => {
+                        pending.push((e.at, e.key, KernelEvent::Timer { tag: *tag }));
+                    }
+                }
+            }
+        }
+        pending.sort_by_key(|e| (e.0, e.1));
+        let mut queue = EventQueue::new();
+        for (at, _, ev) in pending {
+            queue.push(at, ev);
+        }
+
+        // Stitch each channel's send half (source shard) and delivery half
+        // (destination shard) back into one serial channel. The send side
+        // carries the authoritative endpoints — rebinds update it first.
+        let mut channels = Vec::with_capacity(self.dir.len());
+        for (idx, (src0, dst0)) in self.dir.iter().enumerate() {
+            let (mut src, mut dst) = (*src0, *dst0);
+            let mut open = true;
+            let mut blocked = false;
+            let mut fifo_tail = SimTime::ZERO;
+            let mut held = VecDeque::new();
+            let mut stats = ChannelStats::default();
+            for core in &cores {
+                if let Some(Some(s)) = core.send_sides.get(idx) {
+                    src = s.src;
+                    dst = s.dst;
+                    open &= s.open;
+                    fifo_tail = s.fifo_tail;
+                    stats.sent += s.sent;
+                    stats.dropped += s.dropped;
+                }
+                if let Some(Some(d)) = core.deliver_sides.get(idx) {
+                    open &= d.open;
+                    blocked = d.blocked;
+                    held.extend(d.held.iter().cloned());
+                    stats.delivered += d.delivered;
+                    stats.dropped += d.dropped;
+                    stats.held += d.held.len() as u64;
+                }
+            }
+            channels.push(Channel {
+                id: ChannelId(idx as u64),
+                src,
+                dst,
+                open,
+                blocked,
+                fifo_tail,
+                held,
+                stats,
+            });
+        }
+
+        let topo = world.topo.clone();
+        drop(cores);
+        drop(world);
+        Some(Kernel::from_parts(
+            self.now,
+            queue,
+            topo,
+            channels,
+            Self::FORK_SEED,
+            counters,
+            hier,
+            self.next_timer_tag,
+        ))
     }
 }
 

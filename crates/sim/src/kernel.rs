@@ -85,9 +85,11 @@ impl SendOutcome {
     }
 }
 
-/// Internal event representation.
-#[derive(Debug)]
-enum KernelEvent<M> {
+/// Internal event representation. Crate-visible so the sharded kernel's
+/// serial projection ([`crate::coordinator::ShardedKernel::fork_serial`])
+/// can rebuild a serial queue from shard state.
+#[derive(Debug, Clone)]
+pub(crate) enum KernelEvent<M> {
     Deliver {
         channel: ChannelId,
         msg: M,
@@ -190,6 +192,36 @@ impl<M> Kernel<M> {
             hier: None,
             tracer: Tracer::new(),
             next_timer_tag: 0,
+        }
+    }
+
+    /// Crate-internal constructor from pre-built parts — the sharded
+    /// kernel's serial projection assembles a `Kernel` out of shard-owned
+    /// state at a barrier (see
+    /// [`crate::coordinator::ShardedKernel::fork_serial`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        now: SimTime,
+        queue: EventQueue<KernelEvent<M>>,
+        topology: Topology,
+        channels: Vec<Channel<M>>,
+        seed: u64,
+        counters: [u64; KernelCounter::COUNT],
+        hier: bool,
+        next_timer_tag: u64,
+    ) -> Self {
+        let route_cache = RouteCache::new(&topology);
+        Kernel {
+            now,
+            queue,
+            topology,
+            channels,
+            rng: SimRng::seed_from(seed),
+            counters,
+            route_cache,
+            hier: hier.then(HierRouter::new),
+            tracer: Tracer::new(),
+            next_timer_tag,
         }
     }
 
@@ -594,6 +626,40 @@ impl<M> Kernel<M> {
             return None;
         }
         Some(n.run_job(now, cost))
+    }
+}
+
+impl<M: Clone> Kernel<M> {
+    /// Forks the kernel: a cheap, O(state) deep copy that shares **no**
+    /// mutable state with the original. The fork carries the same virtual
+    /// time, pending event queue (tie order included), topology, channel
+    /// halves (open/blocked flags, FIFO tails, held messages, stats),
+    /// lifecycle counters, RNG stream position and timer-tag allocator —
+    /// so a fork fed the same inputs replays **byte-identically** to the
+    /// mainline, and dropping a fork never perturbs the mainline (see
+    /// `tests/fork_determinism.rs`).
+    ///
+    /// Two pieces are deliberately rebuilt rather than copied:
+    ///
+    /// - the route cache (and hierarchical router, when enabled) starts
+    ///   cold — route *resolution* is a pure function of the topology, so
+    ///   behaviour is identical; only `route_cache_stats` differ;
+    /// - the tracer is a fresh, inert [`Tracer`] — a fork never writes
+    ///   into the mainline's span/event ring.
+    #[must_use]
+    pub fn fork(&self) -> Kernel<M> {
+        Kernel {
+            now: self.now,
+            queue: self.queue.clone(),
+            topology: self.topology.clone(),
+            channels: self.channels.clone(),
+            rng: self.rng.clone(),
+            counters: self.counters,
+            route_cache: RouteCache::new(&self.topology),
+            hier: self.hier.is_some().then(HierRouter::new),
+            tracer: Tracer::new(),
+            next_timer_tag: self.next_timer_tag,
+        }
     }
 }
 
