@@ -1,0 +1,42 @@
+//! E19 bench target: prints the fixed-vs-adaptive fast-path table, writes
+//! the `BENCH_e19.json` artifact, and micro-measures the barrier cost —
+//! one full drain per (K, policy) on a small steady workload, so the
+//! per-lever win (batched exchange + widening + pooling + spin-park vs
+//! the fixed one-barrier-per-lookahead cadence) is visible in isolation.
+
+use aas_sim::coordinator::WindowPolicy;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let msgs = aas_bench::e19::msgs_per_cell();
+    let cells = aas_bench::e19::cells();
+    println!("{}", aas_bench::e19::render(&cells, msgs));
+    // Cargo runs bench binaries with cwd = the package root, so the
+    // artifact lands at crates/bench/BENCH_e19.json.
+    let json = aas_bench::e19::to_json(&cells);
+    if let Err(e) = std::fs::write("BENCH_e19.json", &json) {
+        eprintln!("could not write BENCH_e19.json: {e}");
+    }
+
+    for k in [1u32, 4] {
+        for (name, policy) in [
+            ("fixed", WindowPolicy::Fixed),
+            ("adaptive", WindowPolicy::Adaptive),
+        ] {
+            c.bench_function(&format!("e19/drain_clique16_k{k}_{name}"), |b| {
+                b.iter(|| {
+                    black_box(aas_bench::e19::run_cell(
+                        "clique16",
+                        false,
+                        black_box(k),
+                        policy,
+                        10_000,
+                    ))
+                })
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,410 @@
+//! E19 — wall-clock fast path: what the barrier optimizations buy.
+//!
+//! E15 proved the sharded kernel *scales in the model* (16.4M modeled
+//! events/s at K=8) while wall clock stalled — the speedup was eaten by
+//! coordination constant factors: one coordinator barrier per lookahead
+//! window (52–66 per 200k events), per-event `Vec` shuffling at each
+//! exchange, and condvar syscalls on every window. This experiment
+//! measures the four levers that attack those costs:
+//!
+//! 1. **Batched SoA exchange** — cross-shard messages ride
+//!    struct-of-arrays batches moved whole (`exchanged / exchange_ops`
+//!    entries per O(1) buffer move) instead of per-event pushes.
+//! 2. **Adaptive lookahead widening** — windows geometrically widen
+//!    while they stay clean, so the coordinator barrier count drops from
+//!    one-per-lookahead to one-per-2^6-lookaheads at steady state. The
+//!    fixed-vs-adaptive pair in every cell isolates exactly this lever.
+//! 3. **Pooled event buffers** — batches recycle through per-shard free
+//!    lists; the warm cross-shard path allocates nothing
+//!    (`crates/sim/tests/alloc_free.rs` proves it).
+//! 4. **Spin-then-park workers** — the window handshake is an atomic
+//!    epoch bump with brief spinning; no syscall on the fast path.
+//!
+//! Each cell reports both **modeled** events/s (critical path + serial
+//! time — host-independent) and **wall** events/s, plus the barrier
+//! microbench: ns of coordinator-serial time per outer window and events
+//! per window. On a single-vCPU host the wall column measures scheduling
+//! overhead, not parallelism; the host-independent proxy for the win is
+//! the windows (= coordinator barriers) reduction, asserted ≥ 3× for
+//! every steady K>1 cell.
+//!
+//! Set `E19_SMOKE=1` for the reduced CI smoke grid (clique16 steady,
+//! K ∈ {1, 4}); `E19_FULL=1` forces the full grid regardless.
+
+use crate::table::{f2, Table};
+use aas_sim::coordinator::{ExecMode, ShardedKernel, WindowPolicy};
+use aas_sim::fault::FaultProcess;
+use aas_sim::link::{LinkId, LinkSpec};
+use aas_sim::network::Topology;
+use aas_sim::node::{NodeId, NodeSpec};
+use aas_sim::rng::SimRng;
+use aas_sim::time::{SimDuration, SimTime};
+use std::time::Instant;
+
+const SEED: u64 = 1901;
+/// Message sizes interleaved by the workload (same as E14/E15).
+const SIZES: [u64; 2] = [256, 4096];
+/// Concurrent channel pairs per workload.
+const PAIRS: usize = 128;
+/// Shard counts measured per workload.
+pub const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 8];
+/// The windows-reduction floor asserted for steady multi-shard cells:
+/// adaptive must cut coordinator barriers at least this factor vs fixed.
+pub const MIN_WINDOW_REDUCTION: f64 = 3.0;
+
+/// Messages per cell (reduced under `E19_SMOKE`). The smoke count still
+/// spans ~30 lookaheads — short enough for CI, long enough that the
+/// geometric widening reaches steady state and the ≥ 3× windows
+/// assertion is meaningful.
+#[must_use]
+pub fn msgs_per_cell() -> u64 {
+    if std::env::var_os("E19_SMOKE").is_some() {
+        30_000
+    } else {
+        100_000
+    }
+}
+
+/// True when only the smoke subgrid should run.
+#[must_use]
+pub fn smoke_grid() -> bool {
+    std::env::var_os("E19_SMOKE").is_some() && std::env::var_os("E19_FULL").is_none()
+}
+
+/// One measured cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// `"clique16"` or `"sparse64"`.
+    pub workload: &'static str,
+    /// Whether a fault/flap storm ran alongside the traffic.
+    pub faults: bool,
+    /// Shard count K.
+    pub shards: u32,
+    /// `"fixed"` (one barrier per lookahead, the E15 behavior) or
+    /// `"adaptive"`.
+    pub policy: &'static str,
+    /// Messages sent.
+    pub msgs: u64,
+    /// Kernel events processed across all shards.
+    pub events: u64,
+    /// Outer windows executed (coordinator barriers).
+    pub windows: u64,
+    /// Lookahead-wide sub-rounds inside those windows.
+    pub subrounds: u64,
+    /// Windows wider than one lookahead.
+    pub widened_windows: u64,
+    /// Cross-shard entries exchanged.
+    pub exchanged: u64,
+    /// Whole-batch exchange operations (entries ÷ ops = batch size).
+    pub exchange_ops: u64,
+    /// Modeled (critical-path) events per second.
+    pub modeled_events_per_sec: f64,
+    /// Wall-clock events per second on this host.
+    pub wall_events_per_sec: f64,
+    /// Coordinator-serial nanoseconds per outer window (merge + flush).
+    pub barrier_ns_per_window: f64,
+    /// Events per outer window (how much work each barrier amortizes).
+    pub events_per_window: f64,
+}
+
+/// Dense workload: every pair one hop apart (same as E14/E15).
+fn clique16() -> Topology {
+    Topology::clique(16, 100.0, SimDuration::from_millis(2), 1e7)
+}
+
+/// Sparse workload: 64-node ring with `i → i+8` chords (same as E14/E15).
+fn sparse64() -> Topology {
+    let mut topo = Topology::new();
+    let ids: Vec<NodeId> = (0..64)
+        .map(|i| topo.add_node(NodeSpec::new(format!("s{i}"), 100.0)))
+        .collect();
+    for i in 0..64usize {
+        topo.add_link(LinkSpec::new(
+            ids[i],
+            ids[(i + 1) % 64],
+            SimDuration::from_millis(2),
+            1e7,
+        ));
+    }
+    for i in 0..64usize {
+        topo.add_link(LinkSpec::new(
+            ids[i],
+            ids[(i + 8) % 64],
+            SimDuration::from_millis(5),
+            1e7,
+        ));
+    }
+    topo
+}
+
+fn pairs_for(topo: &Topology, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let n = topo.node_count() as u64;
+    let mut rng = SimRng::seed_from(seed);
+    let mut pairs = Vec::with_capacity(count);
+    while pairs.len() < count {
+        let a = NodeId(rng.below(n) as u32);
+        let b = NodeId(rng.below(n) as u32);
+        if a != b {
+            pairs.push((a, b));
+        }
+    }
+    pairs
+}
+
+/// Runs one cell: the E15 schedule (`msgs` sends round-robined over 128
+/// pairs at a 1 µs cadence) under the given window policy, then a full
+/// drain. Fault cells add the E15 storm.
+#[must_use]
+pub fn run_cell(
+    workload: &'static str,
+    faults: bool,
+    shards: u32,
+    policy: WindowPolicy,
+    msgs: u64,
+) -> Cell {
+    let topo = match workload {
+        "clique16" => clique16(),
+        "sparse64" => sparse64(),
+        other => panic!("unknown workload `{other}`"),
+    };
+    let link_count = topo.link_count();
+    let pairs = pairs_for(&topo, PAIRS, SEED ^ 0x5eed);
+    let mode = if shards == 1 {
+        ExecMode::Inline
+    } else {
+        ExecMode::Threads
+    };
+    let mut k: ShardedKernel<u64> = ShardedKernel::with_mode(topo, shards, mode);
+    k.set_window_policy(policy);
+    let chs: Vec<_> = pairs.iter().map(|&(a, b)| k.open_channel(a, b)).collect();
+    if faults {
+        let mut storm = FaultProcess::new();
+        for n in 0..4u32 {
+            storm = storm.crash_node(NodeId(n * 3 + 1), 2.0, 0.5);
+        }
+        for l in 0..4usize {
+            storm = storm.flap_link(LinkId((l * (link_count / 4)) as u32), 1.5, 0.4);
+        }
+        let horizon = SimTime::from_secs(3600);
+        let schedule = storm.generate(horizon, &mut SimRng::seed_from(SEED ^ 0xfa));
+        k.inject_faults(schedule);
+    }
+    for i in 0..msgs {
+        let ch = chs[(i % chs.len() as u64) as usize];
+        let size = SIZES[(i % SIZES.len() as u64) as usize];
+        k.send_at(SimTime::from_micros(i), ch, i, size);
+    }
+    let t0 = Instant::now();
+    let merged = k.drain();
+    let secs = t0.elapsed().as_secs_f64();
+    drop(merged);
+    let stats = k.stats();
+    assert_eq!(stats.early_crossings, 0, "safety violated during bench");
+    assert_eq!(stats.overrun_events, 0, "safety violated during bench");
+    let windows = stats.windows.max(1) as f64;
+    Cell {
+        workload,
+        faults,
+        shards,
+        policy: match policy {
+            WindowPolicy::Fixed => "fixed",
+            WindowPolicy::Adaptive => "adaptive",
+        },
+        msgs,
+        events: stats.events,
+        windows: stats.windows,
+        subrounds: stats.subrounds,
+        widened_windows: stats.widened_windows,
+        exchanged: stats.exchanged,
+        exchange_ops: stats.exchange_ops,
+        modeled_events_per_sec: stats.modeled_events_per_sec(),
+        wall_events_per_sec: stats.events as f64 / secs,
+        barrier_ns_per_window: stats.barrier_ns as f64 / windows,
+        events_per_window: stats.events as f64 / windows,
+    }
+}
+
+/// Runs the measured grid. Smoke mode covers clique16 steady at
+/// K ∈ {1, 4}; the full grid is {clique16, sparse64} × {steady, storm}
+/// × K ∈ {1, 2, 4, 8}, each under both policies. Steady multi-shard
+/// cells assert the ≥ 3× windows reduction.
+#[must_use]
+pub fn cells() -> Vec<Cell> {
+    let msgs = msgs_per_cell();
+    let mut out = Vec::new();
+    let (workloads, fault_modes, shard_counts): (&[&'static str], &[bool], &[u32]) = if smoke_grid()
+    {
+        (&["clique16"], &[false], &[1, 4])
+    } else {
+        (&["clique16", "sparse64"], &[false, true], &SHARD_COUNTS)
+    };
+    for &workload in workloads {
+        for &faults in fault_modes {
+            for &k in shard_counts {
+                let fixed = run_cell(workload, faults, k, WindowPolicy::Fixed, msgs);
+                let adaptive = run_cell(workload, faults, k, WindowPolicy::Adaptive, msgs);
+                if !faults && k > 1 {
+                    let reduction = fixed.windows as f64 / adaptive.windows.max(1) as f64;
+                    assert!(
+                        reduction >= MIN_WINDOW_REDUCTION,
+                        "{workload} K={k}: windows only fell {reduction:.1}x \
+                         (fixed {} -> adaptive {})",
+                        fixed.windows,
+                        adaptive.windows,
+                    );
+                }
+                out.push(fixed);
+                out.push(adaptive);
+            }
+        }
+    }
+    out
+}
+
+/// Renders the comparison table; speedup is modeled events/s relative to
+/// the fixed-policy K=1 cell of the same (workload, faults) group.
+#[must_use]
+pub fn run() -> Table {
+    let msgs = msgs_per_cell();
+    let all = cells();
+    render(&all, msgs)
+}
+
+/// Renders a table from pre-computed cells (so the bench target reuses
+/// them for the JSON artifact without re-running the grid).
+#[must_use]
+pub fn render(all: &[Cell], msgs: u64) -> Table {
+    let mut table = Table::new(
+        format!(
+            "E19: wall-clock fast path, fixed vs adaptive windows \
+             ({msgs} msgs over {PAIRS} pairs, sizes {SIZES:?}, seed {SEED})"
+        ),
+        &[
+            "workload",
+            "faults",
+            "K",
+            "policy",
+            "windows",
+            "subrounds",
+            "ev/window",
+            "ns/window",
+            "exch/op",
+            "modeled ev/s",
+            "speedup",
+            "wall ev/s",
+        ],
+    );
+    for cell in all {
+        let base = all
+            .iter()
+            .find(|c| {
+                c.workload == cell.workload
+                    && c.faults == cell.faults
+                    && c.shards == 1
+                    && c.policy == "fixed"
+            })
+            .map_or(cell.modeled_events_per_sec, |c| c.modeled_events_per_sec);
+        table.row(vec![
+            cell.workload.to_owned(),
+            if cell.faults { "storm" } else { "none" }.to_owned(),
+            cell.shards.to_string(),
+            cell.policy.to_owned(),
+            cell.windows.to_string(),
+            cell.subrounds.to_string(),
+            format!("{:.0}", cell.events_per_window),
+            format!("{:.0}", cell.barrier_ns_per_window),
+            format!(
+                "{:.0}",
+                cell.exchanged as f64 / cell.exchange_ops.max(1) as f64
+            ),
+            format!("{:.0}", cell.modeled_events_per_sec),
+            f2(cell.modeled_events_per_sec / base),
+            format!("{:.0}", cell.wall_events_per_sec),
+        ]);
+    }
+    table
+}
+
+/// Renders cells as the `BENCH_e19.json` artifact.
+#[must_use]
+pub fn to_json(cells: &[Cell]) -> String {
+    let mut s = String::from("{\n  \"experiment\": \"e19\",\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"faults\": {}, \"shards\": {}, \
+             \"policy\": \"{}\", \"msgs\": {}, \"events\": {}, \
+             \"windows\": {}, \"subrounds\": {}, \"widened_windows\": {}, \
+             \"exchanged\": {}, \"exchange_ops\": {}, \
+             \"modeled_events_per_sec\": {:.0}, \
+             \"wall_events_per_sec\": {:.0}, \
+             \"barrier_ns_per_window\": {:.0}, \
+             \"events_per_window\": {:.1}}}{}\n",
+            c.workload,
+            c.faults,
+            c.shards,
+            c.policy,
+            c.msgs,
+            c.events,
+            c.windows,
+            c.subrounds,
+            c.widened_windows,
+            c.exchanged,
+            c.exchange_ops,
+            c.modeled_events_per_sec,
+            c.wall_events_per_sec,
+            c.barrier_ns_per_window,
+            c.events_per_window,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_matches_fixed_and_cuts_windows() {
+        let fixed = run_cell("clique16", false, 4, WindowPolicy::Fixed, 30_000);
+        let adaptive = run_cell("clique16", false, 4, WindowPolicy::Adaptive, 30_000);
+        // Same schedule, same events — only the barrier cadence differs.
+        assert_eq!(fixed.events, adaptive.events);
+        assert!(
+            (fixed.windows as f64 / adaptive.windows.max(1) as f64) >= MIN_WINDOW_REDUCTION,
+            "fixed {} vs adaptive {} windows",
+            fixed.windows,
+            adaptive.windows
+        );
+        assert!(adaptive.widened_windows > 0);
+        assert!(adaptive.subrounds >= adaptive.windows);
+    }
+
+    #[test]
+    fn exchange_is_batched() {
+        let c = run_cell("clique16", false, 4, WindowPolicy::Adaptive, 30_000);
+        assert!(c.exchanged > 0, "clique at K=4 must cross shards");
+        assert!(
+            c.exchange_ops < c.exchanged,
+            "batches must carry more than one entry on average: {} ops for {} entries",
+            c.exchange_ops,
+            c.exchanged
+        );
+    }
+
+    #[test]
+    fn json_artifact_is_well_formed() {
+        let cells = vec![run_cell(
+            "clique16",
+            false,
+            2,
+            WindowPolicy::Adaptive,
+            1_000,
+        )];
+        let json = to_json(&cells);
+        assert!(json.contains("\"experiment\": \"e19\""));
+        assert!(json.contains("\"policy\": \"adaptive\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -9,14 +9,22 @@
 //!
 //! ## Barrier protocol
 //!
-//! Time advances in windows `[tq, W)` where `tq` is the earliest pending
-//! event anywhere and `W = min(tq + lookahead, next sync point, limit)`.
-//! The lookahead is the minimum latency over cross-shard links
-//! ([`ShardMap::lookahead`]): an event at time `t ≥ tq` that sends across
-//! shards produces an arrival no earlier than `t + lookahead ≥ W`, so no
-//! shard can receive anything *within* the window it is currently running —
-//! every shard processes its window independently, and the coordinator
-//! exchanges the accumulated mailboxes once all shards reach the barrier.
+//! Time advances in *outer windows* `[tq, W)` where `tq` is the earliest
+//! pending event anywhere. Each outer window is executed as a sequence of
+//! *sub-rounds* at most one lookahead wide: the lookahead `la` is the
+//! minimum latency over cross-shard links ([`ShardMap::lookahead`]), so
+//! an event at time `t ≥ b` that sends across shards produces an arrival
+//! no earlier than `t + la ≥ b + la` — a sub-round `[b, b + la)` can run
+//! with no mid-round exchange. Between sub-rounds the shards exchange
+//! their SoA mailbox batches *directly* (each worker deposits into the
+//! destination's shared inbox slot and waits on an atomic sub-barrier);
+//! the coordinator only participates once per outer window, where the
+//! serialized work lives: the K-way merge of the fired runs, metric
+//! flushes and clock advance. Under [`WindowPolicy::Adaptive`] (the
+//! default) the outer width grows geometrically while windows stay clean
+//! and is additionally widened to the provable cross-shard arrival bound
+//! (`ShardCore::arrival_bound`), so phases with no pending sends collapse
+//! to a single round.
 //!
 //! ## Determinism
 //!
@@ -42,16 +50,17 @@ use crate::link::LinkId;
 use crate::network::{RouteCacheStats, Topology};
 use crate::node::NodeId;
 use crate::shard::{
-    DeliverSide, Entry, EventKey, MergedEvent, SendSide, ShardCore, ShardEvent, ShardFired,
-    ShardId, ShardMap,
+    CacheAligned, DeliverBatch, DeliverSide, Entry, EventKey, InboxSlot, MergedEvent, SendSide,
+    ShardCore, ShardEvent, ShardFired, ShardId, ShardMap,
 };
 use crate::stats::Counters;
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering as AtomicOrd};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How shard windows are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,19 +74,47 @@ pub enum ExecMode {
     Threads,
 }
 
+/// How outer windows are sized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowPolicy {
+    /// Every window is exactly one lookahead wide (`[tq, tq + la)`), one
+    /// coordinator barrier per lookahead — the legacy PR-5 behavior, kept
+    /// as the before-side of E19's before/after comparison.
+    Fixed,
+    /// Outer windows widen geometrically (×2 per clean window, halved
+    /// when a window is clipped by a sync point or the run limit, capped
+    /// at 2^[`MAX_WIDEN_LOG2`]) and are additionally extended to the
+    /// provable cross-shard arrival bound. Sub-rounds inside the window
+    /// still advance one lookahead at a time, so the static safety
+    /// argument is untouched.
+    #[default]
+    Adaptive,
+}
+
+/// Cap on the geometric widening exponent: an outer window spans at most
+/// `2^MAX_WIDEN_LOG2` lookaheads (bounds per-window buffering and keeps
+/// the kernel responsive to `run_until` limits).
+pub const MAX_WIDEN_LOG2: u32 = 6;
+
 /// Shared state between the coordinator and the workers.
 struct Shared<M> {
     /// Topology + shard map; workers take read locks for the duration of
     /// a window, the coordinator takes a write lock for sync steps.
     world: RwLock<World>,
     /// One core per shard. Workers lock only their own; the coordinator
-    /// locks them between windows (never while a window runs).
-    shards: Vec<Mutex<ShardCore<M>>>,
-    ctrl: Mutex<Ctrl>,
-    ctrl_cv: Condvar,
-    /// Count of workers done with the current window.
-    done: Mutex<u32>,
-    done_cv: Condvar,
+    /// locks them between windows (never while a window runs). Each core
+    /// sits on its own cache line: the hot per-shard fields (queue head,
+    /// outbox lengths, busy counter) are written at high rate by their
+    /// owning worker, and sharing a line with a neighbor would turn every
+    /// bump into cross-core traffic.
+    shards: Vec<CacheAligned<Mutex<ShardCore<M>>>>,
+    /// Per-shard shared mailboxes, separate from the cores so peers can
+    /// deposit batches during the exchange phase while every core is
+    /// locked by its own worker. Inbox locks are only ever taken while
+    /// holding one's *own* core lock (never a peer's core), so the
+    /// protocol is deadlock-free by lock-order.
+    inboxes: Vec<CacheAligned<Mutex<InboxSlot<M>>>>,
+    barrier: BarrierCtl,
 }
 
 struct World {
@@ -85,11 +122,149 @@ struct World {
     map: ShardMap,
 }
 
-struct Ctrl {
-    /// Bumped once per window; workers run exactly one window per bump.
-    generation: u64,
-    window_end: SimTime,
-    shutdown: bool,
+/// The spin-then-park barrier replacing the old `Mutex<Ctrl>` + `Condvar`
+/// generation handshake: one atomic epoch bump publishes a window, one
+/// atomic add per worker reports completion, and everyone spins briefly
+/// before parking — the fast path makes no syscall at all.
+///
+/// Every hot atomic lives on its own cache line (asserted by a unit
+/// test): `epoch` is written by the coordinator and spun on by K workers,
+/// `done` is contended by workers finishing, and the sub-barrier pair
+/// churns once per sub-round.
+struct BarrierCtl {
+    /// Bumped once per outer window; workers run exactly one outer window
+    /// (all of its sub-rounds) per bump. The bump `Release`-publishes the
+    /// window parameters below.
+    epoch: CacheAligned<AtomicU64>,
+    /// Workers done with the current outer window.
+    done: CacheAligned<AtomicU32>,
+    /// Sub-barrier arrival counter (sense-reversing, reset by the last
+    /// arriver).
+    sub_arrived: CacheAligned<AtomicU32>,
+    /// Sub-barrier generation; bumped by the last arriver of each
+    /// sub-round.
+    sub_epoch: CacheAligned<AtomicU64>,
+    /// Current window parameters, raw micros; written by the coordinator
+    /// before the epoch bump that publishes them.
+    tq: CacheAligned<AtomicU64>,
+    la: CacheAligned<AtomicU64>,
+    bound: CacheAligned<AtomicU64>,
+    end: CacheAligned<AtomicU64>,
+    shutdown: AtomicBool,
+    /// Per-worker "I am parked" flags (Dekker pairing with the epoch
+    /// bump: a worker publishes the flag, then re-checks the epoch; the
+    /// coordinator bumps the epoch, then checks the flags).
+    parked: Vec<CacheAligned<AtomicBool>>,
+    /// The coordinator thread currently blocked in `run_until`, for the
+    /// last-done worker to unpark. Registered once per `run_until` call.
+    coord: Mutex<Option<std::thread::Thread>>,
+}
+
+impl BarrierCtl {
+    fn new(shards: u32) -> Self {
+        BarrierCtl {
+            epoch: CacheAligned(AtomicU64::new(0)),
+            done: CacheAligned(AtomicU32::new(0)),
+            sub_arrived: CacheAligned(AtomicU32::new(0)),
+            sub_epoch: CacheAligned(AtomicU64::new(0)),
+            tq: CacheAligned(AtomicU64::new(0)),
+            la: CacheAligned(AtomicU64::new(0)),
+            bound: CacheAligned(AtomicU64::new(0)),
+            end: CacheAligned(AtomicU64::new(0)),
+            shutdown: AtomicBool::new(false),
+            parked: (0..shards)
+                .map(|_| CacheAligned(AtomicBool::new(false)))
+                .collect(),
+            coord: Mutex::new(None),
+        }
+    }
+}
+
+/// End of the sub-round starting at `b`: one lookahead forward, skipping
+/// straight to the provable arrival `bound` when it is further (nothing
+/// can land in `[b + la, bound)`), clamped to the outer window end.
+fn next_round_end(b: SimTime, la: SimDuration, bound: SimTime, w_end: SimTime) -> SimTime {
+    if la == SimDuration::MAX {
+        return w_end;
+    }
+    w_end.min((b + la).max(bound))
+}
+
+/// Moves every deposited batch from this shard's shared inbox into its
+/// queue, recycling spent buffers into the core's free list. `scratch` is
+/// a reusable vector so the inbox lock is held only for two pointer
+/// swaps.
+fn drain_shared_inbox<M>(
+    slot: &CacheAligned<Mutex<InboxSlot<M>>>,
+    core: &mut ShardCore<M>,
+    scratch: &mut Vec<DeliverBatch<M>>,
+) {
+    {
+        let mut s = slot.0.lock().expect("inbox lock");
+        if s.batches.is_empty() {
+            return;
+        }
+        std::mem::swap(&mut s.batches, scratch);
+        s.min_at = SimTime::MAX;
+    }
+    for mut b in scratch.drain(..) {
+        b.drain_into(&mut core.queue);
+        core.free.push(b);
+    }
+}
+
+/// Exchange phase of one sub-round: deposits every non-empty outbox batch
+/// into the destination shard's shared inbox as a whole-buffer move
+/// (O(runs), not O(events)), replacing it from the free list, and checks
+/// the "nothing crosses a barrier early" invariant against the sub-round
+/// end.
+fn flush_outboxes<M>(
+    core: &mut ShardCore<M>,
+    inboxes: &[CacheAligned<Mutex<InboxSlot<M>>>],
+    end: SimTime,
+) {
+    let me = core.id as usize;
+    for (d, slot) in inboxes.iter().enumerate() {
+        if d == me || core.outboxes[d].is_empty() {
+            continue;
+        }
+        let repl = core.free.pop().unwrap_or_default();
+        let batch = std::mem::replace(&mut core.outboxes[d], repl);
+        core.exchanged_out += batch.len() as u64;
+        core.exchange_ops += 1;
+        if batch.min_at < end {
+            core.early_crossings += batch.len() as u64;
+        }
+        let mut s = slot.0.lock().expect("inbox lock");
+        s.min_at = s.min_at.min(batch.min_at);
+        s.batches.push(batch);
+    }
+}
+
+/// Sense-reversing barrier between sub-rounds: every shard must deposit
+/// its round-r batches before any shard drains its inbox for round r+1.
+/// Spins briefly, then yields, then parks with a timeout (no wakeup
+/// needed — the timeout bounds the oversleep and the spin/yield phases
+/// catch the common case).
+fn sub_barrier_wait(bar: &BarrierCtl, k: u32) {
+    let gen = bar.sub_epoch.0.load(AtomicOrd::Acquire);
+    if bar.sub_arrived.0.fetch_add(1, AtomicOrd::AcqRel) + 1 == k {
+        bar.sub_arrived.0.store(0, AtomicOrd::Relaxed);
+        bar.sub_epoch.0.fetch_add(1, AtomicOrd::Release);
+        return;
+    }
+    let mut spins = 0u32;
+    while bar.sub_epoch.0.load(AtomicOrd::Acquire) == gen {
+        if spins < 512 {
+            spins += 1;
+            std::hint::spin_loop();
+        } else if spins < 576 {
+            spins += 1;
+            std::thread::yield_now();
+        } else {
+            std::thread::park_timeout(Duration::from_micros(100));
+        }
+    }
 }
 
 /// A pending synchronization command (executes at the coordinator, in
@@ -134,12 +309,25 @@ impl Ord for SyncEntry {
 /// Execution statistics of a [`ShardedKernel`] run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ShardedStats {
-    /// Parallel windows executed.
+    /// Outer windows executed — one coordinator barrier (serial merge +
+    /// metric flush) each. This is the synchronization-tax unit adaptive
+    /// widening attacks.
     pub windows: u64,
+    /// Lookahead-wide sub-rounds executed inside outer windows (each ends
+    /// in a worker-to-worker batch exchange over an atomic sub-barrier,
+    /// with no coordinator involvement). Always ≥ `windows`; equal under
+    /// [`WindowPolicy::Fixed`].
+    pub subrounds: u64,
+    /// Outer windows that were wider than one lookahead (adaptive gain).
+    pub widened_windows: u64,
     /// Sequential sync steps executed.
     pub sync_steps: u64,
     /// Cross-shard entries exchanged at barriers.
     pub exchanged: u64,
+    /// Whole-batch exchange operations. The SoA exchange moves buffers,
+    /// not entries: `exchanged / exchange_ops` entries ride each O(1)
+    /// buffer move.
+    pub exchange_ops: u64,
     /// Entries that would have arrived *inside* the window that produced
     /// them — a violation of the lookahead rule. Must stay zero.
     pub early_crossings: u64,
@@ -154,6 +342,10 @@ pub struct ShardedStats {
     /// Coordinator-serial nanoseconds (barriers, merges, sync steps) —
     /// the Amdahl term that bounds scaling.
     pub serial_ns: u64,
+    /// The barrier-only part of `serial_ns` (merge + flush at outer
+    /// windows, excluding sync steps); `barrier_ns / windows` is the E19
+    /// microbench's ns-per-window figure.
+    pub barrier_ns: u64,
 }
 
 impl ShardedStats {
@@ -209,10 +401,31 @@ pub struct ShardedKernel<M: Send + 'static> {
     /// Counters owned by the coordinator (released, faults applied).
     coord_counters: [u64; KernelCounter::COUNT],
     stats: ShardedStats,
+    policy: WindowPolicy,
+    /// Current geometric widening exponent (outer window target width is
+    /// `la << widen_log2`).
+    widen_log2: u32,
+    /// Cached `world.lookahead` (static after construction).
+    la: SimDuration,
+    /// Sum of per-core `early_crossings` at the last barrier, for the
+    /// per-window delta the adaptive policy keys on.
+    prev_early: u64,
+    /// Reusable batch scratch for inline-mode inbox drains.
+    inline_scratch: Vec<DeliverBatch<M>>,
     /// Last flushed busy_ns per shard (to compute per-window deltas).
     prev_busy: Vec<u64>,
-    /// Reusable K-way merge buffers (swapped with shard `fired` vectors).
-    merge_bufs: Vec<Vec<MergedEvent<M>>>,
+    /// Reusable K-way merge buffers (swapped with shard `fired` deques).
+    merge_bufs: Vec<VecDeque<MergedEvent<M>>>,
+    /// Peak per-window fired count per shard, for capacity handback: the
+    /// fired buffer and merge buffer trade roles every window, so the
+    /// coordinator re-reserves the handed-back buffer to the peak —
+    /// keeping all growth off the worker threads.
+    fired_peak: Vec<usize>,
+    /// Cached merge of every registry, invalidated when a flush moves any
+    /// counter — `merged_metrics` used to re-walk all K registries per
+    /// call even when nothing changed.
+    merged_cache: aas_obs::MetricsSnapshot,
+    metrics_dirty: bool,
     /// Per-shard metric registries; counter deltas flushed at barriers.
     regs: Vec<aas_obs::MetricsRegistry>,
     handles: Vec<[aas_obs::Counter; KernelCounter::COUNT]>,
@@ -287,20 +500,17 @@ impl<M: Send + 'static> ShardedKernel<M> {
     ) -> Self {
         assert!(shards > 0, "need at least one shard");
         let map = ShardMap::round_robin(topo.node_count(), shards);
-        let cores: Vec<Mutex<ShardCore<M>>> = (0..shards)
-            .map(|i| Mutex::new(ShardCore::new(i, shards, &topo)))
+        let lookahead = map.lookahead(&topo);
+        let cores: Vec<CacheAligned<Mutex<ShardCore<M>>>> = (0..shards)
+            .map(|i| CacheAligned(Mutex::new(ShardCore::new(i, shards, &topo))))
             .collect();
         let shared = Arc::new(Shared {
             world: RwLock::new(World { topo, map }),
             shards: cores,
-            ctrl: Mutex::new(Ctrl {
-                generation: 0,
-                window_end: SimTime::ZERO,
-                shutdown: false,
-            }),
-            ctrl_cv: Condvar::new(),
-            done: Mutex::new(0),
-            done_cv: Condvar::new(),
+            inboxes: (0..shards)
+                .map(|_| CacheAligned(Mutex::new(InboxSlot::default())))
+                .collect(),
+            barrier: BarrierCtl::new(shards),
         });
         let workers = if mode == ExecMode::Threads {
             (0..shards)
@@ -332,8 +542,16 @@ impl<M: Send + 'static> ShardedKernel<M> {
             dir: Vec::new(),
             coord_counters: [0; KernelCounter::COUNT],
             stats: ShardedStats::default(),
+            policy: WindowPolicy::default(),
+            widen_log2: 0,
+            la: lookahead,
+            prev_early: 0,
+            inline_scratch: Vec::new(),
             prev_busy: vec![0; shards as usize],
-            merge_bufs: (0..shards).map(|_| Vec::new()).collect(),
+            merge_bufs: (0..shards).map(|_| VecDeque::new()).collect(),
+            fired_peak: vec![0; shards as usize],
+            merged_cache: aas_obs::MetricsSnapshot::default(),
+            metrics_dirty: true,
             regs,
             handles,
             prev_flushed: vec![[0; KernelCounter::COUNT]; shards as usize],
@@ -367,7 +585,7 @@ impl<M: Send + 'static> ShardedKernel<M> {
         let ssh = world.map.shard_of(src).0 as usize;
         let dsh = world.map.shard_of(dst).0 as usize;
         {
-            let mut core = shared.shards[ssh].lock().expect("shard lock");
+            let mut core = shared.shards[ssh].0.lock().expect("shard lock");
             core.ensure_channel_slot(ch);
             core.send_sides[ch.0 as usize] = Some(SendSide {
                 src,
@@ -378,7 +596,7 @@ impl<M: Send + 'static> ShardedKernel<M> {
                 dropped: 0,
             });
         }
-        let mut core = shared.shards[dsh].lock().expect("shard lock");
+        let mut core = shared.shards[dsh].0.lock().expect("shard lock");
         core.ensure_channel_slot(ch);
         core.deliver_sides[ch.0 as usize] = Some(DeliverSide {
             dst,
@@ -405,12 +623,27 @@ impl<M: Send + 'static> ShardedKernel<M> {
         let shared = Arc::clone(&self.shared);
         let world = shared.world.read().expect("world lock");
         let ssh = world.map.shard_of(src).0 as usize;
-        let mut core = shared.shards[ssh].lock().expect("shard lock");
+        let mut core = shared.shards[ssh].0.lock().expect("shard lock");
         core.queue.push(Entry {
             at,
             key: EventKey::new(cmd, 0),
             ev: ShardEvent::SendCmd { ch, msg, size },
         });
+        core.send_times.push(Reverse(at));
+    }
+
+    /// Selects how outer windows are sized (default:
+    /// [`WindowPolicy::Adaptive`]). The merged occurrence stream is
+    /// byte-identical under either policy — only the window/sub-round
+    /// schedule changes (see `tests/barrier_model.rs`).
+    pub fn set_window_policy(&mut self, policy: WindowPolicy) {
+        self.policy = policy;
+    }
+
+    /// The current window-sizing policy.
+    #[must_use]
+    pub fn window_policy(&self) -> WindowPolicy {
+        self.policy
     }
 
     /// Schedules a timer at `at`; returns the tag the eventual
@@ -427,7 +660,7 @@ impl<M: Send + 'static> ShardedKernel<M> {
         let shared = Arc::clone(&self.shared);
         // Placement is K-dependent but output order is not: the key rules.
         let shard = (cmd % self.shared.shards.len() as u64) as usize;
-        let mut core = shared.shards[shard].lock().expect("shard lock");
+        let mut core = shared.shards[shard].0.lock().expect("shard lock");
         core.queue.push(Entry {
             at,
             key: EventKey::new(cmd, 0),
@@ -508,15 +741,34 @@ impl<M: Send + 'static> ShardedKernel<M> {
     /// at any shard count for the same command sequence.
     pub fn run_until(&mut self, limit: SimTime) -> Vec<MergedEvent<M>> {
         let mut out = Vec::new();
+        self.run_until_into(limit, &mut out);
+        out
+    }
+
+    /// Like [`ShardedKernel::run_until`], appending into a caller-owned
+    /// buffer — a warmed buffer keeps the whole run allocation-free (see
+    /// `tests/alloc_free.rs`).
+    pub fn run_until_into(&mut self, limit: SimTime, out: &mut Vec<MergedEvent<M>>) {
+        if self.mode == ExecMode::Threads {
+            *self.shared.barrier.coord.lock().expect("coord slot") = Some(std::thread::current());
+        }
         loop {
             let shared = Arc::clone(&self.shared);
-            let (tq, la) = {
-                let world = shared.world.read().expect("world lock");
+            let la = self.la;
+            let (tq, bound) = {
                 let mut tq = SimTime::MAX;
+                let mut bound = SimTime::MAX;
                 for m in &shared.shards {
-                    tq = tq.min(m.lock().expect("shard lock").next_pending());
+                    let core = m.0.lock().expect("shard lock");
+                    tq = tq.min(core.next_pending());
+                    if la < SimDuration::MAX {
+                        bound = bound.min(core.arrival_bound(la));
+                    }
                 }
-                (tq, world.map.lookahead(&world.topo))
+                for slot in &shared.inboxes {
+                    tq = tq.min(slot.0.lock().expect("inbox lock").min_at);
+                }
+                (tq, bound)
             };
             let ts = self.sync.peek().map_or(SimTime::MAX, |e| e.at);
             let t = tq.min(ts);
@@ -524,29 +776,55 @@ impl<M: Send + 'static> ShardedKernel<M> {
                 break;
             }
             if ts <= tq {
-                self.sync_step(ts, &mut out);
+                self.sync_step(ts, out);
                 continue;
             }
-            // Window [tq, w_end): bounded by the next sync point, the
-            // caller's limit, and — when any link crosses shards — the
-            // conservative lookahead.
-            let mut w_end = ts.min(limit + SimDuration::from_micros(1));
-            if la < SimDuration::MAX {
-                w_end = w_end.min(tq + la);
-            }
+            // Outer window [tq, w_end): bounded by the next sync point and
+            // the caller's limit; when any link crosses shards, the target
+            // width is policy-controlled (one lookahead under Fixed, a
+            // geometric multiple — or the provable arrival bound, if
+            // further — under Adaptive).
+            let hard = ts.min(limit + SimDuration::from_micros(1));
+            let mut clipped = false;
+            let w_end = if la == SimDuration::MAX {
+                hard
+            } else {
+                let target = match self.policy {
+                    WindowPolicy::Fixed => tq + la,
+                    WindowPolicy::Adaptive => (tq + la * (1u64 << self.widen_log2)).max(bound),
+                };
+                clipped = target > hard;
+                hard.min(target)
+            };
             if w_end <= tq {
                 // Degenerate (zero-latency cross-shard link): fall back to
                 // sequential processing of this instant.
-                self.sync_step(tq, &mut out);
+                self.sync_step(tq, out);
                 continue;
             }
-            self.run_window(w_end);
-            self.barrier_merge(w_end, &mut out);
+            self.dispatch_window(tq, la, bound, w_end);
+            let window_early = self.barrier_merge(out);
+            if self.policy == WindowPolicy::Adaptive && la < SimDuration::MAX {
+                if w_end > tq + la {
+                    self.stats.widened_windows += 1;
+                }
+                // Widen geometrically while windows close cleanly; back
+                // off when the target overshot a sync point or the run
+                // limit (dense sync phases want narrow windows). An early
+                // crossing can't happen (the bound is provable) but would
+                // snap the width back to one lookahead if it ever did.
+                if window_early > 0 {
+                    self.widen_log2 = 0;
+                } else if clipped {
+                    self.widen_log2 = self.widen_log2.saturating_sub(1);
+                } else {
+                    self.widen_log2 = (self.widen_log2 + 1).min(MAX_WIDEN_LOG2);
+                }
+            }
         }
         if limit < SimTime::MAX {
             self.now = self.now.max(limit);
         }
-        out
     }
 
     /// Runs until every queue is empty; the batch analogue of looping
@@ -555,96 +833,133 @@ impl<M: Send + 'static> ShardedKernel<M> {
         self.run_until(SimTime::MAX)
     }
 
-    /// Executes one parallel window ending (exclusively) at `end`.
-    fn run_window(&mut self, end: SimTime) {
-        match self.mode {
-            ExecMode::Inline => {
-                let world = self.shared.world.read().expect("world lock");
-                for m in &self.shared.shards {
-                    let mut core = m.lock().expect("shard lock");
-                    core.run_window(&world.topo, &world.map, end);
-                }
+    /// Like [`ShardedKernel::drain`], appending into a caller-owned
+    /// buffer.
+    pub fn drain_into(&mut self, out: &mut Vec<MergedEvent<M>>) {
+        self.run_until_into(SimTime::MAX, out);
+    }
+
+    /// Executes one outer window `[tq, w_end)` as lookahead-wide
+    /// sub-rounds with direct worker-to-worker exchange between them.
+    fn dispatch_window(&mut self, tq: SimTime, la: SimDuration, bound: SimTime, w_end: SimTime) {
+        // Count sub-rounds (same boundary walk the workers do).
+        let mut b = tq;
+        loop {
+            self.stats.subrounds += 1;
+            let end = next_round_end(b, la, bound, w_end);
+            if end >= w_end {
+                break;
             }
+            b = end;
+        }
+        match self.mode {
+            ExecMode::Inline => self.run_rounds_inline(tq, la, bound, w_end),
             ExecMode::Threads => {
-                {
-                    let mut done = self.shared.done.lock().expect("done lock");
-                    *done = 0;
+                let bar = &self.shared.barrier;
+                bar.tq.0.store(tq.as_micros(), AtomicOrd::Relaxed);
+                bar.la.0.store(la.as_micros(), AtomicOrd::Relaxed);
+                bar.bound.0.store(bound.as_micros(), AtomicOrd::Relaxed);
+                bar.end.0.store(w_end.as_micros(), AtomicOrd::Relaxed);
+                // The SeqCst bump publishes the parameters and pairs with
+                // the workers' parked-flag protocol (Dekker): we bump,
+                // then check flags; they set the flag, then re-check the
+                // epoch.
+                bar.epoch.0.fetch_add(1, AtomicOrd::SeqCst);
+                for (i, flag) in bar.parked.iter().enumerate() {
+                    if flag.0.load(AtomicOrd::SeqCst) {
+                        self.workers[i].thread().unpark();
+                    }
                 }
-                {
-                    let mut ctrl = self.shared.ctrl.lock().expect("ctrl lock");
-                    ctrl.generation += 1;
-                    ctrl.window_end = end;
-                }
-                self.shared.ctrl_cv.notify_all();
                 let k = self.shared.shards.len() as u32;
-                let mut done = self.shared.done.lock().expect("done lock");
-                while *done < k {
-                    done = self.shared.done_cv.wait(done).expect("done wait");
+                let mut spins = 0u32;
+                while bar.done.0.load(AtomicOrd::Acquire) < k {
+                    if spins < 512 {
+                        spins += 1;
+                        std::hint::spin_loop();
+                    } else if spins < 576 {
+                        spins += 1;
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::park_timeout(Duration::from_micros(200));
+                    }
                 }
+                bar.done.0.store(0, AtomicOrd::Relaxed);
             }
         }
     }
 
-    /// Barrier: exchange mailboxes (vector moves only — the per-entry heap
-    /// pushes happen on the destination shard next window), K-way merge
-    /// the per-shard occurrence runs, flush metrics, advance the clock.
-    fn barrier_merge(&mut self, w_end: SimTime, out: &mut Vec<MergedEvent<M>>) {
+    /// Inline-mode outer window: the same sub-round/exchange schedule the
+    /// workers run, executed shard-by-shard on the caller's thread.
+    fn run_rounds_inline(&mut self, tq: SimTime, la: SimDuration, bound: SimTime, w_end: SimTime) {
+        let shared = Arc::clone(&self.shared);
+        let world = shared.world.read().expect("world lock");
+        let mut scratch = std::mem::take(&mut self.inline_scratch);
+        let mut b = tq;
+        loop {
+            let end = next_round_end(b, la, bound, w_end);
+            for (i, m) in shared.shards.iter().enumerate() {
+                let mut core = m.0.lock().expect("shard lock");
+                drain_shared_inbox(&shared.inboxes[i], &mut core, &mut scratch);
+                core.run_window(&world.topo, &world.map, end);
+                flush_outboxes(&mut core, &shared.inboxes, end);
+            }
+            if end >= w_end {
+                break;
+            }
+            b = end;
+        }
+        self.inline_scratch = scratch;
+    }
+
+    /// Coordinator barrier at the end of an outer window: collect the
+    /// per-shard fired runs, flush metrics, advance the clock, K-way
+    /// merge. Exchange already happened shard-to-shard at sub-round ends.
+    /// Returns the number of early crossings recorded this window (the
+    /// adaptive policy's back-off signal).
+    fn barrier_merge(&mut self, out: &mut Vec<MergedEvent<M>>) -> u64 {
         let t0 = Instant::now();
         self.stats.windows += 1;
         let shared = Arc::clone(&self.shared);
-        let mut cores: Vec<MutexGuard<'_, ShardCore<M>>> = shared
-            .shards
-            .iter()
-            .map(|m| m.lock().expect("shard lock"))
-            .collect();
-        let k = cores.len();
-        for i in 0..k {
-            for d in 0..k {
-                if i == d || cores[i].outboxes[d].is_empty() {
-                    continue;
-                }
-                let mut moved = std::mem::take(&mut cores[i].outboxes[d]);
-                let omin = cores[i].outbox_min[d];
-                cores[i].outbox_min[d] = SimTime::MAX;
-                self.stats.exchanged += moved.len() as u64;
-                if omin < w_end {
-                    self.stats.early_crossings += moved.len() as u64;
-                }
-                cores[d].inbox_min = cores[d].inbox_min.min(omin);
-                cores[d].inbox.append(&mut moved);
-                // Hand the (now empty, still allocated) vector back so the
-                // next window's outbox pushes stay allocation-free.
-                cores[i].outboxes[d] = moved;
-            }
-        }
         let mut max_busy = 0u64;
-        for (i, core) in cores.iter_mut().enumerate() {
+        let mut early_total = 0u64;
+        for (i, m) in shared.shards.iter().enumerate() {
+            let mut core = m.0.lock().expect("shard lock");
             let delta = core.busy_ns - self.prev_busy[i];
             self.prev_busy[i] = core.busy_ns;
             max_busy = max_busy.max(delta);
             self.now = self.now.max(core.last_at);
+            early_total += core.early_crossings;
             std::mem::swap(&mut self.merge_bufs[i], &mut core.fired);
+            // Capacity handback: the deque handed back may be the one
+            // that missed the widest window so far; reserve it to the
+            // observed peak here so it never regrows on a worker thread.
+            let peak = self.fired_peak[i].max(self.merge_bufs[i].len());
+            self.fired_peak[i] = peak;
+            if core.fired.capacity() < peak {
+                let additional = peak - core.fired.len();
+                core.fired.reserve(additional);
+            }
             let counters = core.counters;
             for (j, h) in self.handles[i].iter().enumerate() {
                 let d = counters[j] - self.prev_flushed[i][j];
                 if d > 0 {
                     h.add(d);
                     self.prev_flushed[i][j] = counters[j];
+                    self.metrics_dirty = true;
                 }
             }
         }
         self.stats.critical_ns += max_busy;
-        drop(cores);
-        // K-way merge of the per-shard runs (each already sorted).
-        let mut iters: Vec<_> = self
-            .merge_bufs
-            .iter_mut()
-            .map(|b| b.drain(..).peekable())
-            .collect();
+        let window_early = early_total - self.prev_early;
+        self.prev_early = early_total;
+        // K-way merge of the per-shard runs (each already sorted — a
+        // shard's sub-rounds advance in time, so its concatenated window
+        // output stays sorted). Popping from the front of the persistent
+        // deques keeps this allocation-free.
         loop {
             let mut best: Option<(usize, SimTime, EventKey)> = None;
-            for (i, it) in iters.iter_mut().enumerate() {
-                if let Some(e) = it.peek() {
+            for (i, buf) in self.merge_bufs.iter().enumerate() {
+                if let Some(e) = buf.front() {
                     let better = match best {
                         None => true,
                         Some((_, at, key)) => (e.at, e.key) < (at, key),
@@ -655,9 +970,12 @@ impl<M: Send + 'static> ShardedKernel<M> {
                 }
             }
             let Some((i, _, _)) = best else { break };
-            out.push(iters[i].next().expect("peeked"));
+            out.push(self.merge_bufs[i].pop_front().expect("peeked"));
         }
-        self.stats.serial_ns += t0.elapsed().as_nanos() as u64;
+        let dt = t0.elapsed().as_nanos() as u64;
+        self.stats.serial_ns += dt;
+        self.stats.barrier_ns += dt;
+        window_early
     }
 
     /// A sequential step at instant `ts`: executes pending sync commands
@@ -673,11 +991,19 @@ impl<M: Send + 'static> ShardedKernel<M> {
         let mut cores: Vec<MutexGuard<'_, ShardCore<M>>> = shared
             .shards
             .iter()
-            .map(|m| m.lock().expect("shard lock"))
+            .map(|m| m.0.lock().expect("shard lock"))
             .collect();
         let k = cores.len();
-        for core in cores.iter_mut() {
-            core.drain_inbox();
+        // Pull everything still sitting in the shared inboxes into the
+        // queues so same-instant cross-shard events are visible to this
+        // step's merge.
+        for (i, slot) in shared.inboxes.iter().enumerate() {
+            let mut s = slot.0.lock().expect("inbox lock");
+            for mut b in s.batches.drain(..) {
+                b.drain_into(&mut cores[i].queue);
+                cores[i].free.push(b);
+            }
+            s.min_at = SimTime::MAX;
         }
         loop {
             let mut best: Option<(usize, EventKey)> = None;
@@ -800,6 +1126,12 @@ impl<M: Send + 'static> ShardedKernel<M> {
                             };
                             cores[dest].queue.push(e);
                         }
+                        // Pending sends may have changed shards; the
+                        // send-time heaps (which drive adaptive window
+                        // bounds) must follow them.
+                        for idx in [ossh, odsh, nssh, ndsh] {
+                            cores[idx].rebuild_send_times();
+                        }
                         self.dir[ch.0 as usize] = (ns, nd);
                     }
                 }
@@ -817,13 +1149,12 @@ impl<M: Send + 'static> ShardedKernel<M> {
                     if cores[i].outboxes[d].is_empty() {
                         continue;
                     }
-                    let mut moved = std::mem::take(&mut cores[i].outboxes[d]);
-                    cores[i].outbox_min[d] = SimTime::MAX;
+                    let repl = cores[i].free.pop().unwrap_or_default();
+                    let mut moved = std::mem::replace(&mut cores[i].outboxes[d], repl);
                     self.stats.exchanged += moved.len() as u64;
-                    for e in moved.drain(..) {
-                        cores[d].queue.push(e);
-                    }
-                    cores[i].outboxes[d] = moved;
+                    self.stats.exchange_ops += 1;
+                    moved.drain_into(&mut cores[d].queue);
+                    cores[i].free.push(moved);
                 }
             }
         }
@@ -852,11 +1183,11 @@ impl<M: Send + 'static> ShardedKernel<M> {
         self.mode
     }
 
-    /// The current conservative lookahead (min cross-shard link latency).
+    /// The conservative lookahead (min cross-shard link latency). Cached:
+    /// the link set and shard map are fixed at construction.
     #[must_use]
     pub fn lookahead(&self) -> SimDuration {
-        let world = self.shared.world.read().expect("world lock");
-        world.map.lookahead(&world.topo)
+        self.la
     }
 
     /// Runs `f` against the shared topology (read-only).
@@ -882,7 +1213,7 @@ impl<M: Send + 'static> ShardedKernel<M> {
     pub fn counter(&self, c: KernelCounter) -> u64 {
         let mut total = self.coord_counters[c as usize];
         for m in &self.shared.shards {
-            total += m.lock().expect("shard lock").counters[c as usize];
+            total += m.0.lock().expect("shard lock").counters[c as usize];
         }
         total
     }
@@ -892,7 +1223,7 @@ impl<M: Send + 'static> ShardedKernel<M> {
     pub fn channel_stats(&self, ch: ChannelId) -> ChannelStats {
         let mut stats = ChannelStats::default();
         for m in &self.shared.shards {
-            m.lock()
+            m.0.lock()
                 .expect("shard lock")
                 .channel_stats_into(ch, &mut stats);
         }
@@ -911,6 +1242,7 @@ impl<M: Send + 'static> ShardedKernel<M> {
         let world = self.shared.world.read().expect("world lock");
         let dsh = world.map.shard_of(self.dir[ch.0 as usize].1).0 as usize;
         self.shared.shards[dsh]
+            .0
             .lock()
             .expect("shard lock")
             .deliver_sides[ch.0 as usize]
@@ -923,7 +1255,7 @@ impl<M: Send + 'static> ShardedKernel<M> {
     pub fn route_cache_stats(&self) -> RouteCacheStats {
         let mut total = RouteCacheStats::default();
         for m in &self.shared.shards {
-            let s = m.lock().expect("shard lock").route_cache_stats();
+            let s = m.0.lock().expect("shard lock").route_cache_stats();
             total.hits += s.hits;
             total.misses += s.misses;
             total.invalidations += s.invalidations;
@@ -938,7 +1270,7 @@ impl<M: Send + 'static> ShardedKernel<M> {
     /// Call before driving traffic; calling again resets the routers.
     pub fn enable_hier_routing(&mut self) {
         for m in &self.shared.shards {
-            m.lock().expect("shard lock").hier = Some(crate::hier::HierRouter::new());
+            m.0.lock().expect("shard lock").hier = Some(crate::hier::HierRouter::new());
         }
     }
 
@@ -949,7 +1281,7 @@ impl<M: Send + 'static> ShardedKernel<M> {
         let mut total = HierStats::default();
         let mut any = false;
         for m in &self.shared.shards {
-            if let Some(s) = m.lock().expect("shard lock").hier_stats() {
+            if let Some(s) = m.0.lock().expect("shard lock").hier_stats() {
                 any = true;
                 total.hits += s.hits;
                 total.misses += s.misses;
@@ -967,6 +1299,7 @@ impl<M: Send + 'static> ShardedKernel<M> {
     #[must_use]
     pub fn shard_route_cache_stats(&self, shard: ShardId) -> RouteCacheStats {
         self.shared.shards[shard.0 as usize]
+            .0
             .lock()
             .expect("shard lock")
             .route_cache_stats()
@@ -979,7 +1312,7 @@ impl<M: Send + 'static> ShardedKernel<M> {
         self.shared
             .shards
             .iter()
-            .map(|m| m.lock().expect("shard lock").link_bytes(lid))
+            .map(|m| m.0.lock().expect("shard lock").link_bytes(lid))
             .sum()
     }
 
@@ -989,9 +1322,12 @@ impl<M: Send + 'static> ShardedKernel<M> {
     pub fn stats(&self) -> ShardedStats {
         let mut s = self.stats;
         for m in &self.shared.shards {
-            let core = m.lock().expect("shard lock");
+            let core = m.0.lock().expect("shard lock");
             s.events += core.events_processed;
             s.overrun_events += core.overrun_events;
+            s.early_crossings += core.early_crossings;
+            s.exchanged += core.exchanged_out;
+            s.exchange_ops += core.exchange_ops;
         }
         s
     }
@@ -1000,12 +1336,13 @@ impl<M: Send + 'static> ShardedKernel<M> {
     /// registries (also happens automatically at every barrier).
     pub fn flush_metrics(&mut self) {
         for (i, m) in self.shared.shards.iter().enumerate() {
-            let counters = m.lock().expect("shard lock").counters;
+            let counters = m.0.lock().expect("shard lock").counters;
             for (j, h) in self.handles[i].iter().enumerate() {
                 let d = counters[j] - self.prev_flushed[i][j];
                 if d > 0 {
                     h.add(d);
                     self.prev_flushed[i][j] = counters[j];
+                    self.metrics_dirty = true;
                 }
             }
         }
@@ -1014,6 +1351,7 @@ impl<M: Send + 'static> ShardedKernel<M> {
             if d > 0 {
                 h.add(d);
                 self.prev_coord_flushed[j] = self.coord_counters[j];
+                self.metrics_dirty = true;
             }
         }
     }
@@ -1027,14 +1365,23 @@ impl<M: Send + 'static> ShardedKernel<M> {
     /// Flushes and merges every shard's registry (plus the coordinator's)
     /// into one global snapshot; `kernel.*` counters here reconcile
     /// exactly with [`ShardedKernel::counters`].
+    ///
+    /// The merge is cached per flush epoch: re-walking all K registries
+    /// on every call was pure waste when no counter moved between calls,
+    /// so the absorb result is kept and invalidated only when a flush
+    /// actually transfers a delta.
     pub fn merged_metrics(&mut self) -> aas_obs::MetricsSnapshot {
         self.flush_metrics();
-        let global = aas_obs::MetricsRegistry::new();
-        for reg in &self.regs {
-            global.absorb(&reg.snapshot());
+        if self.metrics_dirty {
+            let global = aas_obs::MetricsRegistry::new();
+            for reg in &self.regs {
+                global.absorb(&reg.snapshot());
+            }
+            global.absorb(&self.coord_reg.snapshot());
+            self.merged_cache = global.snapshot();
+            self.metrics_dirty = false;
         }
-        global.absorb(&self.coord_reg.snapshot());
-        global.snapshot()
+        self.merged_cache.clone()
     }
 }
 
@@ -1078,7 +1425,7 @@ impl<M: Send + Clone + 'static> ShardedKernel<M> {
             .shared
             .shards
             .iter()
-            .map(|m| m.lock().expect("shard lock"))
+            .map(|m| m.0.lock().expect("shard lock"))
             .collect();
 
         let mut counters = self.coord_counters;
@@ -1089,7 +1436,7 @@ impl<M: Send + Clone + 'static> ShardedKernel<M> {
             for (i, c) in core.counters.iter().enumerate() {
                 counters[i] += c;
             }
-            for e in core.queue.iter().chain(core.inbox.iter()) {
+            for e in core.queue.iter() {
                 match &e.ev {
                     ShardEvent::SendCmd { .. } => return None,
                     ShardEvent::Deliver {
@@ -1113,8 +1460,28 @@ impl<M: Send + Clone + 'static> ShardedKernel<M> {
                 }
             }
         }
+        // In-transit deliveries still parked in the shared inboxes (the
+        // last exchange of a window deposits batches the owner has not
+        // drained yet) are pending events like any other.
+        for slot in &self.shared.inboxes {
+            let s = slot.0.lock().expect("inbox lock");
+            for b in &s.batches {
+                for j in 0..b.len() {
+                    pending.push((
+                        b.ats[j],
+                        b.keys[j],
+                        KernelEvent::Deliver {
+                            channel: b.chs[j],
+                            msg: b.msgs[j].clone(),
+                            size: b.sizes[j],
+                            sent_at: b.sent_ats[j],
+                        },
+                    ));
+                }
+            }
+        }
         pending.sort_by_key(|e| (e.0, e.1));
-        let mut queue = EventQueue::new();
+        let mut queue = EventQueue::with_capacity(pending.len());
         for (at, _, ev) in pending {
             queue.push(at, ev);
         }
@@ -1176,32 +1543,80 @@ impl<M: Send + Clone + 'static> ShardedKernel<M> {
     }
 }
 
+/// Spin-then-park wait for the next outer-window epoch. Returns `false`
+/// on shutdown. The parked flag pairs with the coordinator's post-bump
+/// flag check (both SeqCst, Dekker-style): either the worker sees the new
+/// epoch on its re-check, or the coordinator sees the flag and unparks.
+fn wait_for_epoch(bar: &BarrierCtl, idx: usize, seen: &mut u64) -> bool {
+    let flag = &bar.parked[idx].0;
+    let mut spins = 0u32;
+    loop {
+        let e = bar.epoch.0.load(AtomicOrd::SeqCst);
+        if e != *seen {
+            *seen = e;
+            // The shutdown flag is stored before the epoch bump that
+            // publishes it, so a worker woken by that bump always sees it.
+            return !bar.shutdown.load(AtomicOrd::SeqCst);
+        }
+        if bar.shutdown.load(AtomicOrd::SeqCst) {
+            return false;
+        }
+        if spins < 256 {
+            spins += 1;
+            std::hint::spin_loop();
+        } else if spins < 320 {
+            spins += 1;
+            std::thread::yield_now();
+        } else {
+            flag.store(true, AtomicOrd::SeqCst);
+            if bar.epoch.0.load(AtomicOrd::SeqCst) == *seen && !bar.shutdown.load(AtomicOrd::SeqCst)
+            {
+                std::thread::park_timeout(Duration::from_millis(1));
+            }
+            flag.store(false, AtomicOrd::SeqCst);
+        }
+    }
+}
+
 fn worker_loop<M: Send + 'static>(shared: &Shared<M>, idx: usize, hook: Option<fn()>) {
     if let Some(h) = hook {
         h();
     }
+    let bar = &shared.barrier;
+    let k = shared.shards.len() as u32;
     let mut seen = 0u64;
+    let mut scratch: Vec<DeliverBatch<M>> = Vec::new();
     loop {
-        let end = {
-            let mut ctrl = shared.ctrl.lock().expect("ctrl lock");
-            while ctrl.generation == seen && !ctrl.shutdown {
-                ctrl = shared.ctrl_cv.wait(ctrl).expect("ctrl wait");
-            }
-            if ctrl.shutdown {
-                return;
-            }
-            seen = ctrl.generation;
-            ctrl.window_end
-        };
+        if !wait_for_epoch(bar, idx, &mut seen) {
+            return;
+        }
+        let tq = SimTime::from_micros(bar.tq.0.load(AtomicOrd::Acquire));
+        let la = SimDuration::from_micros(bar.la.0.load(AtomicOrd::Acquire));
+        let bound = SimTime::from_micros(bar.bound.0.load(AtomicOrd::Acquire));
+        let w_end = SimTime::from_micros(bar.end.0.load(AtomicOrd::Acquire));
         {
             let world = shared.world.read().expect("world lock");
-            let mut core = shared.shards[idx].lock().expect("shard lock");
-            core.run_window(&world.topo, &world.map, end);
+            let mut core = shared.shards[idx].0.lock().expect("shard lock");
+            // Every worker computes the identical sub-round boundary
+            // sequence from the published window parameters, so the
+            // sub-barrier count always matches.
+            let mut b = tq;
+            loop {
+                let end = next_round_end(b, la, bound, w_end);
+                drain_shared_inbox(&shared.inboxes[idx], &mut core, &mut scratch);
+                core.run_window(&world.topo, &world.map, end);
+                flush_outboxes(&mut core, &shared.inboxes, end);
+                if end >= w_end {
+                    break;
+                }
+                b = end;
+                sub_barrier_wait(bar, k);
+            }
         }
-        let mut done = shared.done.lock().expect("done lock");
-        *done += 1;
-        if *done == shared.shards.len() as u32 {
-            shared.done_cv.notify_all();
+        if bar.done.0.fetch_add(1, AtomicOrd::AcqRel) + 1 == k {
+            if let Some(t) = bar.coord.lock().expect("coord slot").as_ref() {
+                t.unpark();
+            }
         }
     }
 }
@@ -1211,11 +1626,16 @@ impl<M: Send + 'static> Drop for ShardedKernel<M> {
         if self.workers.is_empty() {
             return;
         }
-        {
-            let mut ctrl = self.shared.ctrl.lock().expect("ctrl lock");
-            ctrl.shutdown = true;
+        // Order matters: publish shutdown, then bump the epoch so spinning
+        // workers re-check, then unpark sleepers. No worker is mid-window
+        // here (run_until always waits out the done barrier), so every
+        // worker is in `wait_for_epoch` and exits without touching the
+        // sub-barrier.
+        self.shared.barrier.shutdown.store(true, AtomicOrd::SeqCst);
+        self.shared.barrier.epoch.0.fetch_add(1, AtomicOrd::SeqCst);
+        for w in &self.workers {
+            w.thread().unpark();
         }
-        self.shared.ctrl_cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -1334,6 +1754,117 @@ mod tests {
                 k.counter(c),
                 "{name} must reconcile"
             );
+        }
+    }
+
+    #[test]
+    fn merged_metrics_cache_invalidates_on_flush() {
+        let mut k: ShardedKernel<u32> = ShardedKernel::new(two_node_topo(), 2);
+        let ch = k.open_channel(NodeId(0), NodeId(1));
+        for i in 0..5 {
+            k.send_at(SimTime::from_micros(i), ch, i as u32, 64);
+        }
+        let _ = k.drain();
+        let first = k.merged_metrics();
+        assert!(!k.metrics_dirty, "merge must be cached after a call");
+        // A second call with no traffic in between returns the cache.
+        let second = k.merged_metrics();
+        assert_eq!(
+            first.counter("kernel.delivered"),
+            second.counter("kernel.delivered")
+        );
+        assert!(!k.metrics_dirty);
+        // New traffic moves counters at the next flush — the cache must
+        // be invalidated and the rebuilt merge must see the new deliveries.
+        for i in 0..5 {
+            k.send_at(SimTime::from_millis(20 + i), ch, i as u32, 64);
+        }
+        let _ = k.drain();
+        let third = k.merged_metrics();
+        assert_eq!(third.counter("kernel.delivered"), Some(10));
+    }
+
+    /// The loom-free cache-line check from the issue: no two shards' hot
+    /// state (core mutex, inbox slot) and no two barrier atomics may
+    /// share a 64-byte line, so false sharing cannot couple the workers.
+    #[test]
+    fn hot_fields_live_on_distinct_cache_lines() {
+        let k: ShardedKernel<u32> = ShardedKernel::with_mode(
+            Topology::clique(8, 100.0, SimDuration::from_millis(1), 1e6),
+            4,
+            ExecMode::Inline,
+        );
+        let mut lines: Vec<usize> = Vec::new();
+        for m in &k.shared.shards {
+            lines.push(std::ptr::from_ref(m) as usize);
+        }
+        for s in &k.shared.inboxes {
+            lines.push(std::ptr::from_ref(s) as usize);
+        }
+        let bar = &k.shared.barrier;
+        lines.push(std::ptr::from_ref(&bar.epoch) as usize);
+        lines.push(std::ptr::from_ref(&bar.done) as usize);
+        lines.push(std::ptr::from_ref(&bar.sub_arrived) as usize);
+        lines.push(std::ptr::from_ref(&bar.sub_epoch) as usize);
+        for p in &bar.parked {
+            lines.push(std::ptr::from_ref(p) as usize);
+        }
+        for (i, addr) in lines.iter().enumerate() {
+            assert_eq!(addr % 64, 0, "field {i} is not cache-line aligned");
+        }
+        let mut line_ids: Vec<usize> = lines.iter().map(|a| a / 64).collect();
+        line_ids.sort_unstable();
+        line_ids.dedup();
+        assert_eq!(
+            line_ids.len(),
+            lines.len(),
+            "two hot fields share a cache line"
+        );
+    }
+
+    /// Quick cross-policy check (the 64-schedule property tier lives in
+    /// `tests/barrier_model.rs`): adaptive widening must change only the
+    /// barrier cadence, never the merged stream or the counters.
+    #[test]
+    fn adaptive_policy_matches_fixed_stream() {
+        let run = |mode: ExecMode, policy: WindowPolicy| {
+            let topo = Topology::clique(8, 100.0, SimDuration::from_millis(1), 1e6);
+            let mut k: ShardedKernel<u64> = ShardedKernel::with_mode(topo, 4, mode);
+            k.set_window_policy(policy);
+            let chans: Vec<_> = (0..8u32)
+                .map(|i| k.open_channel(NodeId(i), NodeId((i + 3) % 8)))
+                .collect();
+            for i in 0..400u64 {
+                k.send_at(
+                    SimTime::from_micros(i * 23),
+                    chans[(i % 8) as usize],
+                    i,
+                    256,
+                );
+            }
+            let ev: Vec<String> = k
+                .drain()
+                .iter()
+                .map(|e| format!("{} {} {:?}", e.at, e.key, e.what))
+                .collect();
+            (ev, k.counters(), k.stats())
+        };
+        let (fixed_ev, fixed_ct, fixed_stats) = run(ExecMode::Inline, WindowPolicy::Fixed);
+        for mode in [ExecMode::Inline, ExecMode::Threads] {
+            let (ev, ct, stats) = run(mode, WindowPolicy::Adaptive);
+            assert_eq!(fixed_ev, ev, "{mode:?}: adaptive changed the stream");
+            assert_eq!(
+                fixed_ct.iter().collect::<Vec<_>>(),
+                ct.iter().collect::<Vec<_>>()
+            );
+            assert!(
+                stats.windows < fixed_stats.windows,
+                "{mode:?}: widening did not reduce barriers \
+                 ({} vs fixed {})",
+                stats.windows,
+                fixed_stats.windows
+            );
+            assert_eq!(stats.early_crossings, 0);
         }
     }
 }

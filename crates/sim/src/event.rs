@@ -79,6 +79,20 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with room for `cap` events before reallocating.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedules `payload` for time `at`.
     pub fn push(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;

@@ -176,18 +176,26 @@ fn sharded_worker_event_loops_allocate_nothing_when_warm() {
             .count()
     };
 
-    schedule(&mut k, 0);
-    let warm = k.drain();
-    assert_eq!(
-        count_delivered(&warm),
-        4000,
-        "warm pass must deliver everything"
-    );
+    // Two warm passes: the first grows every per-shard heap, outbox
+    // batch, inbox slot and fired buffer; the second runs with the
+    // adaptive window widths already at steady state, so its (wider)
+    // sub-round batches reach the true capacity peak the measured pass
+    // will replay.
+    let mut now_us = 0;
+    for _ in 0..2 {
+        schedule(&mut k, now_us);
+        let warm = k.drain();
+        assert_eq!(
+            count_delivered(&warm),
+            4000,
+            "warm pass must deliver everything"
+        );
+        now_us += 4000 * 11 + 60_000;
+    }
 
     // Measured pass: identical load, so workers stay within the
-    // capacities the warm pass established. Scheduling happens on the
+    // capacities the warm passes established. Scheduling happens on the
     // (un-enrolled) main thread; only window execution is charged.
-    let now_us = 4000 * 11 + 60_000;
     schedule(&mut k, now_us);
     let (events, delta) = measured(|| k.drain());
     assert_eq!(
