@@ -1,0 +1,28 @@
+//! E20 bench target: prints the overload degradation frontier (GORNA
+//! negotiation vs independent reactive loops at 10× overload), writes
+//! the `BENCH_e20.json` artifact, and micro-measures one single-seed
+//! differential pass.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let summary = aas_bench::e20::run_summary(&aas_bench::e20::seeds());
+    println!("{}", aas_bench::e20::render(&summary));
+    // Cargo runs bench binaries with cwd = the package root, so the
+    // artifact lands at crates/bench/BENCH_e20.json.
+    let json = aas_bench::e20::to_json(&summary);
+    if let Err(e) = std::fs::write("BENCH_e20.json", &json) {
+        eprintln!("could not write BENCH_e20.json: {e}");
+    }
+
+    c.bench_function("e20/differential_one_seed", |b| {
+        b.iter(|| {
+            black_box(aas_scenario::run_differential(black_box(
+                aas_bench::e20::FAST_SEEDS[0],
+            )))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

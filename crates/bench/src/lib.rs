@@ -1,6 +1,6 @@
 //! # aas-bench — the experiment harness
 //!
-//! One module per experiment (E1–E19). Each exposes `run() -> Table`
+//! One module per experiment (E1–E20). Each exposes `run() -> Table`
 //! regenerating the experiment's result table; the Criterion targets in
 //! `benches/` print these tables and add wall-clock micro-measurements of
 //! the hot primitives. See `EXPERIMENTS.md` for the claim ↔ measurement
@@ -29,6 +29,7 @@ pub mod e16;
 pub mod e17;
 pub mod e18;
 pub mod e19;
+pub mod e20;
 pub mod table;
 
 pub use table::Table;

@@ -1,0 +1,1038 @@
+//! GORNA-style resource negotiation: budget-requesting agents, a
+//! multi-objective arbitrating coordinator, adaptation within the grant
+//! (DESIGN.md §2.10).
+//!
+//! The paper's prospective vision is a meta-level that decides adaptation
+//! *globally* against situational goals. This module is that upgrade for
+//! the control crate: instead of independent per-contract loops that fight
+//! each other under overload, every adaptive entity becomes a
+//! [`BudgetAgent`] that declares a utility curve over resource grants
+//! (service capacity, admission rate, retry budget, twin-horizon budget),
+//! and a [`Negotiator`] solves a deterministic multi-objective arbitration
+//! — weighted latency/availability/cost with a lexicographic tie-break —
+//! against the global [`SituationalModel`] each control tick, producing
+//! per-agent [`Grant`]s. Agents then adapt *within* their grant: strategy
+//! downgrade, load shedding, or a migration request compiled into an
+//! ordinary transactional reconfiguration plan by the runtime.
+//!
+//! Everything here is pure and replayable: arbitration iterates `BTreeMap`s
+//! and sorted request lists, floats render at fixed precision in
+//! fingerprints, and the same `(model, requests)` input always produces a
+//! byte-identical [`NegotiationOutcome`] — across replays and across
+//! sharded-kernel execution modes.
+
+use crate::situational::SituationalModel;
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a 64-bit digest — the workspace's standard fingerprint primitive.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The negotiated resource dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Service capacity: how much work per message the agent may spend
+    /// (downgrading strategy cheapens each message).
+    Capacity,
+    /// Admission rate: how many offered messages per second the agent may
+    /// accept (the rest are shed).
+    WorkRate,
+    /// Retry budget: delivery attempts the agent's connectors may spend.
+    RetryBudget,
+    /// Twin-horizon budget: seconds of digital-twin simulation the heal
+    /// path may spend verifying plans on this agent's behalf.
+    TwinHorizon,
+}
+
+impl ResourceKind {
+    /// Every dimension, in canonical order.
+    pub const ALL: [ResourceKind; 4] = [
+        ResourceKind::Capacity,
+        ResourceKind::WorkRate,
+        ResourceKind::RetryBudget,
+        ResourceKind::TwinHorizon,
+    ];
+
+    /// Stable machine-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceKind::Capacity => "capacity",
+            ResourceKind::WorkRate => "work-rate",
+            ResourceKind::RetryBudget => "retry-budget",
+            ResourceKind::TwinHorizon => "twin-horizon",
+        }
+    }
+}
+
+/// A vector over the four negotiated resource dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResourceVector {
+    /// Work units per message the agent may spend.
+    pub capacity: f64,
+    /// Messages per second the agent may admit.
+    pub work_rate: f64,
+    /// Delivery attempts per message.
+    pub retry_budget: f64,
+    /// Seconds of twin simulation.
+    pub twin_horizon: f64,
+}
+
+impl ResourceVector {
+    /// The zero vector.
+    pub const ZERO: ResourceVector = ResourceVector {
+        capacity: 0.0,
+        work_rate: 0.0,
+        retry_budget: 0.0,
+        twin_horizon: 0.0,
+    };
+
+    /// Reads one dimension.
+    #[must_use]
+    pub fn get(&self, kind: ResourceKind) -> f64 {
+        match kind {
+            ResourceKind::Capacity => self.capacity,
+            ResourceKind::WorkRate => self.work_rate,
+            ResourceKind::RetryBudget => self.retry_budget,
+            ResourceKind::TwinHorizon => self.twin_horizon,
+        }
+    }
+
+    /// Writes one dimension.
+    pub fn set(&mut self, kind: ResourceKind, v: f64) {
+        match kind {
+            ResourceKind::Capacity => self.capacity = v,
+            ResourceKind::WorkRate => self.work_rate = v,
+            ResourceKind::RetryBudget => self.retry_budget = v,
+            ResourceKind::TwinHorizon => self.twin_horizon = v,
+        }
+    }
+
+    /// Element-wise sum.
+    #[must_use]
+    pub fn plus(&self, other: &ResourceVector) -> ResourceVector {
+        let mut out = *self;
+        for k in ResourceKind::ALL {
+            out.set(k, out.get(k) + other.get(k));
+        }
+        out
+    }
+
+    /// Element-wise scale.
+    #[must_use]
+    pub fn scaled(&self, f: f64) -> ResourceVector {
+        let mut out = *self;
+        for k in ResourceKind::ALL {
+            out.set(k, out.get(k) * f);
+        }
+        out
+    }
+
+    /// `self <= other + eps` on every dimension.
+    #[must_use]
+    pub fn fits_within(&self, other: &ResourceVector, eps: f64) -> bool {
+        ResourceKind::ALL
+            .iter()
+            .all(|&k| self.get(k) <= other.get(k) + eps)
+    }
+
+    /// The smallest `granted/demand` ratio over dimensions where demand is
+    /// positive; 1.0 when nothing was demanded. This is the "fraction of
+    /// what I asked for" that utility curves are evaluated at.
+    #[must_use]
+    pub fn fraction_of(&self, demand: &ResourceVector) -> f64 {
+        let mut frac = 1.0_f64;
+        for k in ResourceKind::ALL {
+            let d = demand.get(k);
+            if d > 0.0 {
+                frac = frac.min((self.get(k) / d).clamp(0.0, 1.0));
+            }
+        }
+        frac
+    }
+
+    /// Fixed-precision rendering used in fingerprints and audit details.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "cap={:.6} rate={:.6} retry={:.6} twin={:.6}",
+            self.capacity, self.work_rate, self.retry_budget, self.twin_horizon
+        )
+    }
+}
+
+/// How an agent values partial grants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum UtilityCurve {
+    /// Utility grows linearly with the granted fraction.
+    #[default]
+    Linear,
+    /// Concave: most of the utility arrives by `knee` (0 < knee <= 1);
+    /// grants beyond the knee add little. Models elastic batch work.
+    Diminishing {
+        /// Fraction of demand at which utility reaches ~2/3.
+        knee: f64,
+    },
+    /// All-or-nothing at `threshold`: below it the grant is nearly
+    /// useless. Models inelastic interactive work.
+    Step {
+        /// Minimum useful fraction of demand.
+        threshold: f64,
+    },
+}
+
+impl UtilityCurve {
+    /// Utility in `[0, 1]` of receiving `fraction` of demand.
+    #[must_use]
+    pub fn utility(&self, fraction: f64) -> f64 {
+        let f = fraction.clamp(0.0, 1.0);
+        match *self {
+            UtilityCurve::Linear => f,
+            UtilityCurve::Diminishing { knee } => {
+                let k = knee.clamp(1e-6, 1.0);
+                // Saturating curve normalized so utility(1.0) == 1.0.
+                let raw = f / (f + k);
+                let norm = 1.0 / (1.0 + k);
+                raw / norm
+            }
+            UtilityCurve::Step { threshold } => {
+                if f + 1e-12 >= threshold {
+                    1.0
+                } else {
+                    f * 0.1
+                }
+            }
+        }
+    }
+}
+
+/// The agent's sensitivity to each arbitration objective. The coordinator
+/// dots this with its own [`ObjectiveWeights`] to get the agent's
+/// effective weight in surplus distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveVector {
+    /// How much the agent's mission suffers from added latency.
+    pub latency: f64,
+    /// How much it suffers from unavailability.
+    pub availability: f64,
+    /// How much each granted unit costs to serve.
+    pub cost: f64,
+}
+
+impl Default for ObjectiveVector {
+    fn default() -> Self {
+        ObjectiveVector {
+            latency: 1.0,
+            availability: 1.0,
+            cost: 1.0,
+        }
+    }
+}
+
+/// The coordinator's arbitration policy: relative importance of the three
+/// objectives when trading grants between agents.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveWeights {
+    /// Weight on latency-sensitivity.
+    pub latency: f64,
+    /// Weight on availability-sensitivity.
+    pub availability: f64,
+    /// Weight (negative pressure) on cost: costly agents weigh less.
+    pub cost: f64,
+}
+
+impl Default for ObjectiveWeights {
+    fn default() -> Self {
+        ObjectiveWeights {
+            latency: 1.0,
+            availability: 1.0,
+            cost: 0.5,
+        }
+    }
+}
+
+impl ObjectiveWeights {
+    /// The effective arbitration weight of an agent: latency and
+    /// availability sensitivity pull budget toward it, cost pushes budget
+    /// away. Clamped to a small positive floor so no agent's weight is
+    /// exactly zero (which would starve it out of the surplus round
+    /// entirely and make fairness undefined).
+    #[must_use]
+    pub fn effective_weight(&self, v: &ObjectiveVector) -> f64 {
+        let w = self.latency * v.latency + self.availability * v.availability - self.cost * v.cost;
+        w.max(1e-3)
+    }
+}
+
+/// One agent's request for the next negotiation round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetRequest {
+    /// Agent (instance) name; the arbitration tie-break key.
+    pub agent: String,
+    /// The minimum viable grant: below this the agent cannot meet its
+    /// contract at all. Guaranteed or explicitly denied, never silently
+    /// shorted.
+    pub floor: ResourceVector,
+    /// The full demand: what the agent could usefully consume.
+    pub demand: ResourceVector,
+    /// Objective sensitivities, dotted with the coordinator's weights.
+    pub objectives: ObjectiveVector,
+    /// Coarse priority class; higher classes get floors reserved first.
+    pub priority: u8,
+    /// How the agent values partial grants.
+    pub curve: UtilityCurve,
+}
+
+impl BudgetRequest {
+    /// A request with default (balanced, linear-utility, priority-1)
+    /// shape.
+    #[must_use]
+    pub fn new(agent: impl Into<String>, floor: ResourceVector, demand: ResourceVector) -> Self {
+        BudgetRequest {
+            agent: agent.into(),
+            floor,
+            demand,
+            objectives: ObjectiveVector::default(),
+            priority: 1,
+            curve: UtilityCurve::default(),
+        }
+    }
+
+    /// Sets the priority class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the objective sensitivities.
+    #[must_use]
+    pub fn with_objectives(mut self, objectives: ObjectiveVector) -> Self {
+        self.objectives = objectives;
+        self
+    }
+
+    /// Sets the utility curve.
+    #[must_use]
+    pub fn with_curve(mut self, curve: UtilityCurve) -> Self {
+        self.curve = curve;
+        self
+    }
+}
+
+/// A per-agent allocation for one negotiation epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grant {
+    /// The agent the grant belongs to.
+    pub agent: String,
+    /// The granted vector (floor + surplus share, capped at demand).
+    pub granted: ResourceVector,
+    /// What the agent demanded (kept for fraction/utility accounting).
+    pub demand: ResourceVector,
+    /// `granted.fraction_of(demand)`.
+    pub fraction: f64,
+    /// Utility the agent derives from this grant under its curve.
+    pub utility: f64,
+    /// Negotiation epoch the grant was issued in.
+    pub epoch: u64,
+}
+
+/// Why a request was denied. Denials are always audited: "every agent gets
+/// its floor or an audited deny" is the harness's core safety property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DenyReason {
+    /// The remaining budget could not cover the agent's floor.
+    FloorUnsatisfiable,
+    /// The agent's host node is down or heavily suspected.
+    HostSuspected,
+}
+
+impl DenyReason {
+    /// Stable machine-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DenyReason::FloorUnsatisfiable => "floor-unsatisfiable",
+            DenyReason::HostSuspected => "host-suspected",
+        }
+    }
+}
+
+/// How an agent adapts inside its grant. The runtime compiles `Migrate`
+/// into an ordinary transactional reconfiguration plan; the others are
+/// applied directly to the dispatch path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AgentResponse {
+    /// Strategy downgrade: spend `cost_scale` (< 1.0) of the nominal work
+    /// per message — the service-ladder level that fits the capacity
+    /// grant.
+    Downgrade {
+        /// Multiplier on per-message work cost, in `(0, 1]`.
+        cost_scale: f64,
+    },
+    /// Load shedding: admit only `keep_permille` out of every 1000
+    /// offered messages, deterministically by sequence number.
+    Shed {
+        /// Admitted messages per 1000 offered.
+        keep_permille: u32,
+    },
+    /// Ask the runtime to migrate this agent to a healthier node, via the
+    /// transactional plan path.
+    Migrate {
+        /// Destination node id.
+        to_node: u32,
+    },
+}
+
+/// A budget-requesting agent: anything adaptive enough to declare what it
+/// needs and act within what it gets. Component instances, control loops
+/// ([`LoopBudgetAgent`]) and the heal/twin subsystem all fit this shape.
+pub trait BudgetAgent {
+    /// The agent's stable name (arbitration tie-break key).
+    fn agent_name(&self) -> &str;
+
+    /// Declares the agent's request for the next epoch, given the global
+    /// situational model.
+    fn request(&self, model: &SituationalModel) -> BudgetRequest;
+
+    /// Reacts to the epoch's grant: returns the adaptations the agent
+    /// performs to live inside it.
+    fn on_grant(&mut self, grant: &Grant, model: &SituationalModel) -> Vec<AgentResponse>;
+}
+
+/// Adapts a [`ControlLoop`](crate::control_loop::ControlLoop) into a
+/// [`BudgetAgent`]: the loop's setpoint becomes its work-rate demand and
+/// each grant caps the loop's actuator, so the legacy per-contract loops
+/// participate in — instead of fighting — global arbitration.
+#[derive(Debug)]
+pub struct LoopBudgetAgent {
+    name: String,
+    type_cost: f64,
+    floor_fraction: f64,
+    inner: crate::control_loop::ControlLoop,
+}
+
+impl LoopBudgetAgent {
+    /// Wraps `inner`; `type_cost` is the work per admitted message and
+    /// `floor_fraction` the fraction of the setpoint below which the
+    /// loop's contract is unmeetable.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        inner: crate::control_loop::ControlLoop,
+        type_cost: f64,
+        floor_fraction: f64,
+    ) -> Self {
+        LoopBudgetAgent {
+            name: name.into(),
+            type_cost,
+            floor_fraction: floor_fraction.clamp(0.0, 1.0),
+            inner,
+        }
+    }
+
+    /// The wrapped loop.
+    #[must_use]
+    pub fn inner(&self) -> &crate::control_loop::ControlLoop {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped loop (for ticking it between
+    /// negotiation epochs).
+    pub fn inner_mut(&mut self) -> &mut crate::control_loop::ControlLoop {
+        &mut self.inner
+    }
+}
+
+impl BudgetAgent for LoopBudgetAgent {
+    fn agent_name(&self) -> &str {
+        &self.name
+    }
+
+    fn request(&self, _model: &SituationalModel) -> BudgetRequest {
+        let rate = self.inner.setpoint().max(0.0);
+        let mut demand = ResourceVector::ZERO;
+        demand.work_rate = rate;
+        demand.capacity = self.type_cost;
+        BudgetRequest::new(
+            self.name.clone(),
+            demand.scaled(self.floor_fraction),
+            demand,
+        )
+    }
+
+    fn on_grant(&mut self, grant: &Grant, _model: &SituationalModel) -> Vec<AgentResponse> {
+        // The loop keeps running its own feedback law, but its actuator is
+        // now capped by the negotiated rate: adaptation within the grant.
+        self.inner.set_grant_cap(Some(grant.granted.work_rate));
+        let mut out = Vec::new();
+        if grant.granted.work_rate + 1e-9 < grant.demand.work_rate && grant.demand.work_rate > 0.0 {
+            let keep = (grant.granted.work_rate / grant.demand.work_rate * 1000.0).floor() as u32;
+            out.push(AgentResponse::Shed {
+                keep_permille: keep.min(1000),
+            });
+        }
+        if grant.granted.capacity + 1e-9 < grant.demand.capacity && grant.demand.capacity > 0.0 {
+            out.push(AgentResponse::Downgrade {
+                cost_scale: (grant.granted.capacity / grant.demand.capacity).max(0.05),
+            });
+        }
+        out
+    }
+}
+
+/// Fault-injection seam for the negotiation mutation engine
+/// (EXPERIMENTS.md E20): each variant is a plausible implementation bug
+/// the adversarial harness must kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NegotiatorMutation {
+    /// A greedy agent inflates its request tenfold before arbitration —
+    /// the first agent in arbitration order lies about demand and floor.
+    InflateRequests,
+    /// The coordinator ignores floors entirely: nothing is reserved and
+    /// nothing is denied, agents are silently shorted.
+    IgnoreFloors,
+    /// The coordinator keeps arbitrating against the first situational
+    /// model it ever saw, blind to overload onset and failures.
+    StaleModel,
+}
+
+impl NegotiatorMutation {
+    /// Every negotiator mutant.
+    pub const ALL: [NegotiatorMutation; 3] = [
+        NegotiatorMutation::InflateRequests,
+        NegotiatorMutation::IgnoreFloors,
+        NegotiatorMutation::StaleModel,
+    ];
+
+    /// Stable machine-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            NegotiatorMutation::InflateRequests => "inflate-requests",
+            NegotiatorMutation::IgnoreFloors => "ignore-floors",
+            NegotiatorMutation::StaleModel => "stale-model",
+        }
+    }
+}
+
+/// The outcome of one arbitration epoch: grants, audited denials, and the
+/// inputs they were derived from. Byte-identically fingerprintable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NegotiationOutcome {
+    /// The epoch this outcome belongs to.
+    pub epoch: u64,
+    /// Fingerprint of the situational model arbitration actually used
+    /// (under the stale-model mutant this differs from the live model).
+    pub model_fingerprint: u64,
+    /// The budget available this epoch.
+    pub budget: ResourceVector,
+    /// Grants, sorted by agent name.
+    pub grants: Vec<Grant>,
+    /// Audited denials: `(agent, reason)`, sorted by agent name.
+    pub denied: Vec<(String, DenyReason)>,
+    /// Element-wise total of all grants (for the budget-cap invariant).
+    pub total_granted: ResourceVector,
+}
+
+impl NegotiationOutcome {
+    /// The grant for `agent`, if any.
+    #[must_use]
+    pub fn grant_for(&self, agent: &str) -> Option<&Grant> {
+        self.grants.iter().find(|g| g.agent == agent)
+    }
+
+    /// Whether `total_granted` fits inside `budget` (the safety
+    /// invariant the property harness replays 128 ways).
+    #[must_use]
+    pub fn within_budget(&self) -> bool {
+        self.total_granted.fits_within(&self.budget, 1e-6)
+    }
+
+    /// Jain's fairness index over the granted fractions:
+    /// `(Σx)² / (n·Σx²)`, 1.0 = perfectly fair. Agents that demanded
+    /// nothing are excluded; an empty round is vacuously fair.
+    #[must_use]
+    pub fn jain_fairness(&self) -> f64 {
+        let fracs: Vec<f64> = self
+            .grants
+            .iter()
+            .filter(|g| ResourceKind::ALL.iter().any(|&k| g.demand.get(k) > 0.0))
+            .map(|g| g.fraction)
+            .collect();
+        if fracs.is_empty() {
+            return 1.0;
+        }
+        let n = fracs.len() as f64;
+        let sum: f64 = fracs.iter().sum();
+        let sq: f64 = fracs.iter().map(|x| x * x).sum();
+        if sq <= 0.0 {
+            return 1.0;
+        }
+        (sum * sum) / (n * sq)
+    }
+
+    /// FNV-1a digest of the whole outcome, floats at fixed precision.
+    /// Two arbitrations agree byte-for-byte iff these agree.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut s = format!(
+            "epoch={} model={:#018x} budget[{}] total[{}]",
+            self.epoch,
+            self.model_fingerprint,
+            self.budget.render(),
+            self.total_granted.render()
+        );
+        for g in &self.grants {
+            s.push_str(&format!(
+                "|g:{}:[{}]:[{}]:{:.6}:{:.6}:{}",
+                g.agent,
+                g.granted.render(),
+                g.demand.render(),
+                g.fraction,
+                g.utility,
+                g.epoch
+            ));
+        }
+        for (agent, reason) in &self.denied {
+            s.push_str(&format!("|d:{}:{}", agent, reason.label()));
+        }
+        fnv1a(s.as_bytes())
+    }
+}
+
+/// The arbitrating coordinator. Holds the global budget, the objective
+/// weights, the epoch counter and (for the adversarial harness) an
+/// optional injected mutation.
+#[derive(Debug, Clone)]
+pub struct Negotiator {
+    weights: ObjectiveWeights,
+    budget: ResourceVector,
+    epoch: u64,
+    mutation: Option<NegotiatorMutation>,
+    frozen_model: Option<SituationalModel>,
+}
+
+impl Negotiator {
+    /// A coordinator with the given arbitration weights and global
+    /// per-epoch budget.
+    #[must_use]
+    pub fn new(weights: ObjectiveWeights, budget: ResourceVector) -> Self {
+        Negotiator {
+            weights,
+            budget,
+            epoch: 0,
+            mutation: None,
+            frozen_model: None,
+        }
+    }
+
+    /// The static global budget.
+    #[must_use]
+    pub fn budget(&self) -> ResourceVector {
+        self.budget
+    }
+
+    /// Epochs arbitrated so far.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Injects (or clears) a mutant for the adversarial harness.
+    pub fn set_mutation(&mut self, m: Option<NegotiatorMutation>) {
+        self.mutation = m;
+        self.frozen_model = None;
+    }
+
+    /// The active mutation, if any.
+    #[must_use]
+    pub fn mutation(&self) -> Option<NegotiatorMutation> {
+        self.mutation
+    }
+
+    /// The budget actually available this epoch: the work-rate dimension
+    /// tracks the situational model's sustainable capacity (never granting
+    /// more admission than the system can serve), the other dimensions
+    /// come from the static budget.
+    #[must_use]
+    pub fn effective_budget(&self, model: &SituationalModel) -> ResourceVector {
+        let mut b = self.budget;
+        if model.capacity_rate > 0.0 {
+            b.work_rate = b.work_rate.min(model.capacity_rate);
+        }
+        b
+    }
+
+    /// Runs one arbitration epoch: floors first (lexicographic by
+    /// priority-descending then name-ascending; unsatisfiable floors are
+    /// audited denials), then the surplus is water-filled proportionally
+    /// to effective weight, capped at demand. Deterministic throughout.
+    pub fn arbitrate(
+        &mut self,
+        live_model: &SituationalModel,
+        requests: &[BudgetRequest],
+    ) -> NegotiationOutcome {
+        self.epoch += 1;
+
+        // Mutant: arbitrate against the first model ever seen.
+        let model: &SituationalModel = if self.mutation == Some(NegotiatorMutation::StaleModel) {
+            if self.frozen_model.is_none() {
+                self.frozen_model = Some(live_model.clone());
+            }
+            self.frozen_model.as_ref().unwrap()
+        } else {
+            live_model
+        };
+
+        // Canonical arbitration order: priority desc, then name asc.
+        let mut reqs: Vec<BudgetRequest> = requests.to_vec();
+        reqs.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.agent.cmp(&b.agent)));
+
+        // Mutant: the first agent in arbitration order lies tenfold.
+        if self.mutation == Some(NegotiatorMutation::InflateRequests) {
+            if let Some(first) = reqs.first_mut() {
+                first.demand = first.demand.scaled(10.0);
+                first.floor = first.floor.scaled(4.0);
+            }
+        }
+
+        let ignore_floors = self.mutation == Some(NegotiatorMutation::IgnoreFloors);
+        let budget = self.effective_budget(model);
+        let mut remaining = budget;
+        let mut denied: Vec<(String, DenyReason)> = Vec::new();
+        let mut admitted: Vec<(BudgetRequest, ResourceVector)> = Vec::new();
+
+        // Step 1: reserve floors in arbitration order; deny what the
+        // remaining budget cannot cover.
+        for req in reqs {
+            let floor = if ignore_floors {
+                ResourceVector::ZERO
+            } else {
+                req.floor
+            };
+            let host_down = model
+                .agents
+                .get(&req.agent)
+                .and_then(|a| model.nodes.get(&a.node))
+                .is_some_and(|n| !n.up);
+            if host_down {
+                denied.push((req.agent.clone(), DenyReason::HostSuspected));
+                continue;
+            }
+            if !floor.fits_within(&remaining, 1e-9) {
+                denied.push((req.agent.clone(), DenyReason::FloorUnsatisfiable));
+                continue;
+            }
+            for k in ResourceKind::ALL {
+                remaining.set(k, remaining.get(k) - floor.get(k));
+            }
+            admitted.push((req, floor));
+        }
+
+        // Step 2: per-dimension weighted water-filling of the surplus.
+        // Iterate passes: agents whose demand cap binds drop out and
+        // release their share to the rest; at most n passes per dimension.
+        let weights: Vec<f64> = admitted
+            .iter()
+            .map(|(r, _)| self.weights.effective_weight(&r.objectives))
+            .collect();
+        let mut extra: Vec<ResourceVector> = vec![ResourceVector::ZERO; admitted.len()];
+        for k in ResourceKind::ALL {
+            let mut surplus = remaining.get(k).max(0.0);
+            let mut open: Vec<usize> = (0..admitted.len())
+                .filter(|&i| {
+                    let (req, floor) = &admitted[i];
+                    req.demand.get(k) > floor.get(k) + 1e-12
+                })
+                .collect();
+            while surplus > 1e-9 && !open.is_empty() {
+                let total_w: f64 = open.iter().map(|&i| weights[i]).sum();
+                if total_w <= 0.0 {
+                    break;
+                }
+                let mut next_open = Vec::with_capacity(open.len());
+                let mut distributed = 0.0;
+                for &i in &open {
+                    let (req, floor) = &admitted[i];
+                    let headroom = req.demand.get(k) - floor.get(k) - extra[i].get(k);
+                    let share = surplus * weights[i] / total_w;
+                    let take = share.min(headroom);
+                    let already = extra[i].get(k);
+                    extra[i].set(k, already + take);
+                    distributed += take;
+                    if take + 1e-12 < share {
+                        // Cap bound: drop out, release the rest.
+                    } else {
+                        next_open.push(i);
+                    }
+                }
+                surplus -= distributed;
+                if distributed <= 1e-12 {
+                    break;
+                }
+                open = next_open;
+            }
+        }
+
+        // Assemble grants. The lexicographic tie-break is already encoded
+        // in arbitration order; the output is re-sorted by name for
+        // stable rendering.
+        let epoch = self.epoch;
+        let mut grants: Vec<Grant> = admitted
+            .iter()
+            .zip(extra.iter())
+            .map(|((req, floor), ex)| {
+                let granted = floor.plus(ex);
+                let fraction = granted.fraction_of(&req.demand);
+                Grant {
+                    agent: req.agent.clone(),
+                    granted,
+                    demand: req.demand,
+                    fraction,
+                    utility: req.curve.utility(fraction),
+                    epoch,
+                }
+            })
+            .collect();
+        grants.sort_by(|a, b| a.agent.cmp(&b.agent));
+        denied.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut total = ResourceVector::ZERO;
+        for g in &grants {
+            total = total.plus(&g.granted);
+        }
+
+        NegotiationOutcome {
+            epoch,
+            model_fingerprint: model.fingerprint(),
+            budget,
+            grants,
+            denied,
+            total_granted: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::situational::{AgentObservation, NodeSituation};
+    use aas_sim::time::SimTime;
+
+    fn vec4(cap: f64, rate: f64, retry: f64, twin: f64) -> ResourceVector {
+        ResourceVector {
+            capacity: cap,
+            work_rate: rate,
+            retry_budget: retry,
+            twin_horizon: twin,
+        }
+    }
+
+    fn model(capacity_rate: f64) -> SituationalModel {
+        let mut m = SituationalModel::empty(SimTime::from_micros(500_000));
+        m.arrival_rate = 2.0 * capacity_rate;
+        m.capacity_rate = capacity_rate;
+        for (name, node) in [("alpha", 0u32), ("beta", 1), ("gamma", 1)] {
+            m.agents.insert(name.into(), AgentObservation::idle(node));
+        }
+        m.nodes.insert(0, NodeSituation::healthy(1000.0));
+        m.nodes.insert(1, NodeSituation::healthy(1000.0));
+        m
+    }
+
+    fn requests() -> Vec<BudgetRequest> {
+        vec![
+            BudgetRequest::new("beta", vec4(0.2, 10.0, 1.0, 0.0), vec4(1.0, 60.0, 3.0, 0.0)),
+            BudgetRequest::new(
+                "alpha",
+                vec4(0.2, 10.0, 1.0, 0.0),
+                vec4(1.0, 60.0, 3.0, 0.0),
+            )
+            .with_priority(2),
+            BudgetRequest::new("gamma", vec4(0.1, 5.0, 0.0, 0.0), vec4(0.5, 40.0, 2.0, 0.0)),
+        ]
+    }
+
+    #[test]
+    fn grants_fit_budget_and_respect_floors() {
+        let mut n = Negotiator::new(ObjectiveWeights::default(), vec4(2.0, 100.0, 6.0, 4.0));
+        let out = n.arbitrate(&model(100.0), &requests());
+        assert!(out.within_budget(), "total {:?}", out.total_granted);
+        assert!(out.denied.is_empty());
+        for g in &out.grants {
+            let req = requests().into_iter().find(|r| r.agent == g.agent).unwrap();
+            assert!(
+                req.floor.fits_within(&g.granted, 1e-9),
+                "{} floor unmet: {:?} < {:?}",
+                g.agent,
+                g.granted,
+                req.floor
+            );
+            assert!(g.granted.fits_within(&req.demand, 1e-9));
+        }
+    }
+
+    #[test]
+    fn floors_exceeding_budget_produce_audited_denials_lowest_priority_first() {
+        // Budget covers two floors (work-rate 10+10), not three.
+        let mut n = Negotiator::new(ObjectiveWeights::default(), vec4(0.5, 22.0, 2.0, 0.0));
+        let out = n.arbitrate(&model(22.0), &requests());
+        // alpha is priority 2 (reserved first), then beta by name; gamma's
+        // floor (rate 5) still fits in the remaining 2? No: 22-20=2 < 5.
+        assert_eq!(out.grants.len(), 2);
+        assert_eq!(out.denied.len(), 1);
+        assert_eq!(out.denied[0].0, "gamma");
+        assert_eq!(out.denied[0].1, DenyReason::FloorUnsatisfiable);
+        assert!(out.within_budget());
+    }
+
+    #[test]
+    fn down_host_is_denied_not_granted() {
+        let mut m = model(100.0);
+        m.nodes.get_mut(&1).unwrap().up = false;
+        let mut n = Negotiator::new(ObjectiveWeights::default(), vec4(2.0, 100.0, 6.0, 0.0));
+        let out = n.arbitrate(&m, &requests());
+        let denied: Vec<&str> = out.denied.iter().map(|(a, _)| a.as_str()).collect();
+        assert_eq!(denied, ["beta", "gamma"]);
+        assert!(out
+            .denied
+            .iter()
+            .all(|(_, r)| *r == DenyReason::HostSuspected));
+        assert!(out.grant_for("alpha").is_some());
+    }
+
+    #[test]
+    fn arbitration_is_replayable_byte_for_byte() {
+        let run = || {
+            let mut n = Negotiator::new(ObjectiveWeights::default(), vec4(2.0, 80.0, 6.0, 4.0));
+            n.arbitrate(&model(90.0), &requests()).fingerprint()
+        };
+        assert_eq!(run(), run());
+        // Input order must not matter: requests are canonically sorted.
+        let mut n = Negotiator::new(ObjectiveWeights::default(), vec4(2.0, 80.0, 6.0, 4.0));
+        let mut shuffled = requests();
+        shuffled.reverse();
+        assert_eq!(n.arbitrate(&model(90.0), &shuffled).fingerprint(), run());
+    }
+
+    #[test]
+    fn work_rate_budget_tracks_situational_capacity() {
+        let mut n = Negotiator::new(ObjectiveWeights::default(), vec4(2.0, 1000.0, 6.0, 4.0));
+        let out = n.arbitrate(&model(30.0), &requests());
+        assert!(out.budget.work_rate <= 30.0 + 1e-9);
+        assert!(out.total_granted.work_rate <= 30.0 + 1e-9);
+    }
+
+    #[test]
+    fn inflate_requests_mutant_starves_honest_agents() {
+        let honest = {
+            let mut n = Negotiator::new(ObjectiveWeights::default(), vec4(2.0, 80.0, 6.0, 0.0));
+            n.arbitrate(&model(80.0), &requests())
+        };
+        let mutated = {
+            let mut n = Negotiator::new(ObjectiveWeights::default(), vec4(2.0, 80.0, 6.0, 0.0));
+            n.set_mutation(Some(NegotiatorMutation::InflateRequests));
+            n.arbitrate(&model(80.0), &requests())
+        };
+        // The greedy agent (alpha, highest priority) eats surplus its
+        // honest self would have left; fairness over fractions collapses.
+        assert!(mutated.jain_fairness() < honest.jain_fairness());
+        let honest_beta = honest.grant_for("beta").unwrap().granted.work_rate;
+        let mutated_beta = mutated.grant_for("beta").unwrap().granted.work_rate;
+        assert!(mutated_beta < honest_beta);
+    }
+
+    #[test]
+    fn ignore_floors_mutant_silently_shorts_agents() {
+        // Tight budget: honestly, gamma is denied; the mutant instead
+        // grants everyone something below their floor with no denial.
+        let mut n = Negotiator::new(ObjectiveWeights::default(), vec4(0.5, 22.0, 2.0, 0.0));
+        n.set_mutation(Some(NegotiatorMutation::IgnoreFloors));
+        let out = n.arbitrate(&model(22.0), &requests());
+        assert!(out.denied.is_empty(), "mutant never denies");
+        let shorted = out.grants.iter().any(|g| {
+            let req = requests().into_iter().find(|r| r.agent == g.agent).unwrap();
+            !req.floor.fits_within(&g.granted, 1e-9)
+        });
+        assert!(shorted, "some agent silently got less than its floor");
+    }
+
+    #[test]
+    fn stale_model_mutant_ignores_capacity_collapse() {
+        let mut n = Negotiator::new(ObjectiveWeights::default(), vec4(2.0, 1000.0, 6.0, 0.0));
+        n.set_mutation(Some(NegotiatorMutation::StaleModel));
+        let first = n.arbitrate(&model(200.0), &requests());
+        // Capacity collapses tenfold; the stale coordinator keeps granting
+        // against the old 200/s picture.
+        let out = n.arbitrate(&model(20.0), &requests());
+        assert_eq!(out.model_fingerprint, first.model_fingerprint);
+        assert!(out.total_granted.work_rate > 20.0 + 1e-9);
+        // An honest coordinator respects the new ceiling.
+        let mut h = Negotiator::new(ObjectiveWeights::default(), vec4(2.0, 1000.0, 6.0, 0.0));
+        h.arbitrate(&model(200.0), &requests());
+        let honest = h.arbitrate(&model(20.0), &requests());
+        assert!(honest.total_granted.work_rate <= 20.0 + 1e-9);
+    }
+
+    #[test]
+    fn utility_curves_shape_value_of_partial_grants() {
+        assert!((UtilityCurve::Linear.utility(0.5) - 0.5).abs() < 1e-12);
+        let d = UtilityCurve::Diminishing { knee: 0.25 };
+        assert!(d.utility(0.5) > 0.5, "concave: early grants worth more");
+        assert!((d.utility(1.0) - 1.0).abs() < 1e-12);
+        let s = UtilityCurve::Step { threshold: 0.8 };
+        assert!(s.utility(0.79) < 0.1);
+        assert!((s.utility(0.8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_fairness_bounds() {
+        let mut n = Negotiator::new(ObjectiveWeights::default(), vec4(5.0, 500.0, 10.0, 4.0));
+        let out = n.arbitrate(&model(500.0), &requests());
+        let j = out.jain_fairness();
+        assert!(j > 0.0 && j <= 1.0 + 1e-12);
+        // Abundant budget: everyone gets full demand, perfectly fair.
+        assert!(j > 0.999, "abundance should be fair, J = {j}");
+    }
+
+    #[test]
+    fn loop_budget_agent_caps_its_loop_inside_the_grant() {
+        use crate::control_loop::{Actuation, ControlLoop, Direction};
+        use crate::pid::PidController;
+        let cl = ControlLoop::new(
+            Box::new(PidController::new(10.0, 0.0, 0.0)),
+            100.0,
+            Direction::Direct,
+            Actuation::Positional,
+        );
+        let mut agent = LoopBudgetAgent::new("loop", cl, 0.4, 0.1);
+        let m = model(50.0);
+        let req = agent.request(&m);
+        assert!((req.demand.work_rate - 100.0).abs() < 1e-9);
+        assert!((req.floor.work_rate - 10.0).abs() < 1e-9);
+        let grant = Grant {
+            agent: "loop".into(),
+            granted: vec4(0.4, 40.0, 0.0, 0.0),
+            demand: req.demand,
+            fraction: 0.4,
+            utility: 0.4,
+            epoch: 1,
+        };
+        let responses = agent.on_grant(&grant, &m);
+        assert!(responses
+            .iter()
+            .any(|r| matches!(r, AgentResponse::Shed { keep_permille } if *keep_permille == 400)));
+        // Loop under-delivers (measured 0): wants to push hard, but the
+        // actuator is clamped to the granted rate.
+        let u = agent.inner_mut().tick(0.0, 0.1);
+        assert!(u <= 40.0 + 1e-9, "actuator {u} exceeds grant 40");
+    }
+}

@@ -1,0 +1,233 @@
+//! The global situational model the negotiation coordinator arbitrates
+//! against (DESIGN.md §2.10).
+//!
+//! The paper's RAML meta-level decides adaptation *globally*, against a
+//! picture of the whole system, not per-loop. [`SituationalModel`] is that
+//! picture: a plain, deterministic snapshot of offered load, sustainable
+//! capacity, per-agent demand observations, per-node health (utilization,
+//! backlog, failure-detector suspicion) and the region epoch, stamped with
+//! the instant it was observed so consumers can detect staleness.
+//!
+//! The model is pure data: the runtime (aas-core) assembles it each
+//! negotiation tick from the aas-obs metrics registry and its system
+//! snapshot, and the [`Negotiator`](crate::negotiate::Negotiator) consumes
+//! it read-only. Keeping it a value type is what makes arbitration
+//! replayable byte-for-byte: same model + same requests = same grants.
+
+use aas_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What the coordinator knows about one budget agent's recent behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentObservation {
+    /// Node currently hosting the agent.
+    pub node: u32,
+    /// Messages delivered to the agent since the previous tick.
+    pub arrivals: u64,
+    /// Jobs currently in flight on the agent.
+    pub inflight: u64,
+    /// Total messages the agent has processed.
+    pub processed: u64,
+    /// Total errors the agent has raised.
+    pub errors: u64,
+    /// Mean service latency observed for the agent, in milliseconds.
+    pub mean_latency_ms: f64,
+}
+
+impl AgentObservation {
+    /// An idle observation on `node` — the state of an agent that has
+    /// received no traffic yet.
+    #[must_use]
+    pub fn idle(node: u32) -> Self {
+        AgentObservation {
+            node,
+            arrivals: 0,
+            inflight: 0,
+            processed: 0,
+            errors: 0,
+            mean_latency_ms: 0.0,
+        }
+    }
+}
+
+/// What the coordinator knows about one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSituation {
+    /// Whether the node is up.
+    pub up: bool,
+    /// Utilization of the node's service capacity, 1.0 = saturated.
+    pub utilization: f64,
+    /// Backlog of queued work on the node, in milliseconds of service time.
+    pub backlog_ms: f64,
+    /// Remaining effective service capacity (work units per second).
+    pub effective_capacity: f64,
+    /// Phi-accrual suspicion level from the failure detector (0 when no
+    /// detector is running or the node looks healthy).
+    pub suspicion: f64,
+}
+
+impl NodeSituation {
+    /// A healthy, idle node with the given capacity.
+    #[must_use]
+    pub fn healthy(effective_capacity: f64) -> Self {
+        NodeSituation {
+            up: true,
+            utilization: 0.0,
+            backlog_ms: 0.0,
+            effective_capacity,
+            suspicion: 0.0,
+        }
+    }
+}
+
+/// The coordinator's global picture of the system at one instant.
+///
+/// All collections are `BTreeMap`s so iteration order — and therefore
+/// everything derived from the model, including grant fingerprints — is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SituationalModel {
+    /// When the model was assembled.
+    pub observed_at: SimTime,
+    /// Global offered load over the last observation interval, events/s.
+    pub arrival_rate: f64,
+    /// Global sustainable service rate across up nodes, events/s.
+    pub capacity_rate: f64,
+    /// Per-agent observations, keyed by agent (instance) name.
+    pub agents: BTreeMap<String, AgentObservation>,
+    /// Per-node situations, keyed by node id.
+    pub nodes: BTreeMap<u32, NodeSituation>,
+    /// Topology region epoch at observation time (0 when regions are not
+    /// in play).
+    pub region_epoch: u64,
+}
+
+impl SituationalModel {
+    /// A model observed at `now` with no agents and no nodes.
+    #[must_use]
+    pub fn empty(now: SimTime) -> Self {
+        SituationalModel {
+            observed_at: now,
+            ..SituationalModel::default()
+        }
+    }
+
+    /// Offered load over sustainable capacity; 0 when capacity is unknown.
+    /// 1.0 means saturation, 10.0 means the 10x overload scenario.
+    #[must_use]
+    pub fn overload_ratio(&self) -> f64 {
+        if self.capacity_rate > 0.0 {
+            self.arrival_rate / self.capacity_rate
+        } else {
+            0.0
+        }
+    }
+
+    /// The worst suspicion level across nodes (0 when there are none).
+    #[must_use]
+    pub fn max_suspicion(&self) -> f64 {
+        self.nodes
+            .values()
+            .map(|n| n.suspicion)
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Number of nodes currently up.
+    #[must_use]
+    pub fn nodes_up(&self) -> usize {
+        self.nodes.values().filter(|n| n.up).count()
+    }
+
+    /// Whether the model is older than `max_age` at `now`. A coordinator
+    /// arbitrating from a stale model is the classic failure mode the
+    /// `stale-model` mutant injects on purpose.
+    #[must_use]
+    pub fn is_stale(&self, now: SimTime, max_age: SimDuration) -> bool {
+        now.saturating_since(self.observed_at) > max_age
+    }
+
+    /// FNV-1a fingerprint of every field, with floats rendered at fixed
+    /// precision so the digest is byte-stable across replays.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "at={} arr={:.6} cap={:.6} epoch={}",
+            self.observed_at.as_micros(),
+            self.arrival_rate,
+            self.capacity_rate,
+            self.region_epoch
+        ));
+        for (name, a) in &self.agents {
+            s.push_str(&format!(
+                "|a:{name}:{}:{}:{}:{}:{}:{:.6}",
+                a.node, a.arrivals, a.inflight, a.processed, a.errors, a.mean_latency_ms
+            ));
+        }
+        for (id, n) in &self.nodes {
+            s.push_str(&format!(
+                "|n:{id}:{}:{:.6}:{:.6}:{:.6}:{:.6}",
+                u8::from(n.up),
+                n.utilization,
+                n.backlog_ms,
+                n.effective_capacity,
+                n.suspicion
+            ));
+        }
+        crate::negotiate::fnv1a(s.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SituationalModel {
+        let mut m = SituationalModel::empty(SimTime::from_micros(1_000_000));
+        m.arrival_rate = 500.0;
+        m.capacity_rate = 50.0;
+        m.agents.insert("svc".into(), AgentObservation::idle(2));
+        m.nodes.insert(0, NodeSituation::healthy(1000.0));
+        m.nodes.insert(
+            2,
+            NodeSituation {
+                up: true,
+                utilization: 0.9,
+                backlog_ms: 120.0,
+                effective_capacity: 100.0,
+                suspicion: 1.5,
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn overload_ratio_and_suspicion() {
+        let m = model();
+        assert!((m.overload_ratio() - 10.0).abs() < 1e-12);
+        assert!((m.max_suspicion() - 1.5).abs() < 1e-12);
+        assert_eq!(m.nodes_up(), 2);
+        assert_eq!(SituationalModel::default().overload_ratio(), 0.0);
+    }
+
+    #[test]
+    fn staleness_is_measured_from_observed_at() {
+        let m = model();
+        let max_age = SimDuration::from_millis(200);
+        assert!(!m.is_stale(SimTime::from_micros(1_100_000), max_age));
+        assert!(m.is_stale(SimTime::from_micros(1_300_001), max_age));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let m = model();
+        assert_eq!(m.fingerprint(), m.clone().fingerprint());
+        let mut changed = model();
+        changed.arrival_rate += 1.0;
+        assert_ne!(m.fingerprint(), changed.fingerprint());
+        let mut node_changed = model();
+        node_changed.nodes.get_mut(&2).unwrap().suspicion = 0.0;
+        assert_ne!(m.fingerprint(), node_changed.fingerprint());
+    }
+}

@@ -174,7 +174,14 @@ impl AdaptationCoverage {
 /// - `failover` plans immediately (no deferral — it does not wait for the
 ///   suspect), observes empty hosts, completes or fails;
 /// - `degrade` swaps a connector unconditionally, so it always plans and
-///   completes synchronously: it can neither defer, fail, nor observe.
+///   completes synchronously: it can neither defer, fail, nor observe;
+/// - `negotiate` is the resource-negotiation control plane (DESIGN.md
+///   §2.10): a tick with grants but no structural action observes
+///   (`steady/negotiate/observed`), a migration request compiled into a
+///   reconfiguration plan books `planned` and, on commit, `completed`; a
+///   tick arbitrating under live suspicion (denials included) books
+///   `suspected/negotiate/observed`, and a repair committing mid-tick that
+///   invalidates an outstanding grant books `suspected/negotiate/completed`.
 #[must_use]
 pub fn reachable_cells() -> Vec<CoverageCell> {
     use DetectPhase::{Restored, Steady, Suspected};
@@ -194,6 +201,12 @@ pub fn reachable_cells() -> Vec<CoverageCell> {
     for out in [Planned, Completed] {
         cells.push((Suspected, "degrade", out));
     }
+    for out in [Observed, Planned, Completed] {
+        cells.push((Steady, "negotiate", out));
+    }
+    for out in [Observed, Completed] {
+        cells.push((Suspected, "negotiate", out));
+    }
     cells
 }
 
@@ -202,9 +215,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn reachable_model_has_twenty_distinct_cells() {
+    fn reachable_model_has_twenty_five_distinct_cells() {
         let cells = reachable_cells();
-        assert_eq!(cells.len(), 20);
+        assert_eq!(cells.len(), 25);
         let distinct: std::collections::BTreeSet<_> = cells.iter().collect();
         assert_eq!(distinct.len(), cells.len(), "cells must be distinct");
     }
@@ -222,7 +235,7 @@ mod tests {
             a.count((DetectPhase::Steady, "failover", PlanOutcome::Observed)),
             2
         );
-        assert!((a.percent_of_reachable() - 2.0 / 20.0).abs() < 1e-12);
+        assert!((a.percent_of_reachable() - 2.0 / 25.0).abs() < 1e-12);
     }
 
     #[test]
@@ -230,9 +243,9 @@ mod tests {
         let mut cov = AdaptationCoverage::new();
         cov.record(DetectPhase::Suspected, "restart", PlanOutcome::Deferred);
         let rows = cov.export_rows();
-        assert_eq!(rows.len(), 20, "one row per reachable cell");
+        assert_eq!(rows.len(), 25, "one row per reachable cell");
         let zero = rows.iter().filter(|(_, n, _)| *n == 0).count();
-        assert_eq!(zero, 19);
+        assert_eq!(zero, 24);
         assert!(rows
             .iter()
             .any(|(k, n, r)| k == "suspected/restart/deferred" && *n == 1 && *r));

@@ -348,6 +348,10 @@ pub struct ReconfigReport {
     pub messages_held: u64,
     /// Bytes of component state transferred (strong swaps + migrations).
     pub state_bytes_transferred: u64,
+    /// Instances moved by committed migrate actions, in order. Consumers
+    /// such as the negotiation control plane use this to invalidate
+    /// budget decisions issued against the pre-plan placement.
+    pub migrated: Vec<String>,
 }
 
 impl ReconfigReport {
@@ -497,6 +501,7 @@ mod tests {
             blackouts,
             messages_held: 5,
             state_bytes_transferred: 100,
+            migrated: Vec::new(),
         };
         assert_eq!(r.duration(), SimDuration::from_secs(1));
         assert_eq!(r.max_blackout(), SimDuration::from_millis(30));

@@ -10,7 +10,13 @@ impl Runtime {
         let Some(policy) = self.connectors.get(via).and_then(|c| c.spec().retry) else {
             return;
         };
-        if env.attempt + 1 >= policy.max_attempts {
+        // The negotiated retry budget caps (never raises) the connector's
+        // own policy.
+        let max_attempts = match self.negotiate_retry_cap(&env.to_instance) {
+            Some(cap) => policy.max_attempts.min(cap),
+            None => policy.max_attempts,
+        };
+        if env.attempt + 1 >= max_attempts {
             return;
         }
         let delay = policy.delay_for(env.attempt);
@@ -111,28 +117,40 @@ impl Runtime {
     }
 
     pub(super) fn on_delivered(&mut self, env: Envelope, now: SimTime) {
-        let Some(inst) = self.instances.get_mut(&env.to_instance) else {
-            self.m.dropped.incr();
-            self.events.push((
-                now,
-                RuntimeEvent::Dropped {
-                    reason: format!("no instance `{}`", env.to_instance),
-                },
-            ));
-            return;
-        };
-        if inst.lifecycle == Lifecycle::Failed {
-            self.m.dropped.incr();
-            self.events.push((
-                now,
-                RuntimeEvent::Dropped {
-                    reason: format!("instance `{}` failed", env.to_instance),
-                },
-            ));
-            self.maybe_retry(env, now);
+        match self.instances.get(&env.to_instance) {
+            None => {
+                self.m.dropped.incr();
+                self.events.push((
+                    now,
+                    RuntimeEvent::Dropped {
+                        reason: format!("no instance `{}`", env.to_instance),
+                    },
+                ));
+                return;
+            }
+            Some(inst) if inst.lifecycle == Lifecycle::Failed => {
+                self.m.dropped.incr();
+                self.events.push((
+                    now,
+                    RuntimeEvent::Dropped {
+                        reason: format!("instance `{}` failed", env.to_instance),
+                    },
+                ));
+                self.maybe_retry(env, now);
+                return;
+            }
+            Some(_) => {}
+        }
+        // Negotiation admission gate: a granted-down agent sheds the
+        // overflow deterministically and cheapens what it does admit.
+        let (cost_scale, admit) = self.negotiate_admit(&env.to_instance);
+        if !admit {
+            self.negotiate.shed_total += 1;
+            self.m.shed.incr();
             return;
         }
-        let cost = env.extra_cost + inst.component.work_cost(&env.msg);
+        let inst = self.instances.get_mut(&env.to_instance).expect("checked");
+        let cost = (env.extra_cost + inst.component.work_cost(&env.msg)) * cost_scale;
         let node = inst.node;
         let Some(delay) = self.kernel.run_job(node, cost) else {
             self.m.dropped.incr();

@@ -127,6 +127,8 @@ pub(super) struct PlanTxn {
     messages_held: u64,
     state_bytes: u64,
     applied: usize,
+    /// Instances moved by committed migrate actions, in order.
+    moved: Vec<String>,
     /// Compensating inverses of applied actions, in application order.
     journal: Vec<Undo>,
     /// Quiesced targets; they stay blocked until commit or rollback.
@@ -199,6 +201,7 @@ impl Runtime {
             messages_held: 0,
             state_bytes: 0,
             applied: 0,
+            moved: Vec::new(),
             journal: Vec::new(),
             blocked: BTreeMap::new(),
             deferred_close: Vec::new(),
@@ -236,6 +239,7 @@ impl Runtime {
             blackouts: BTreeMap::new(),
             messages_held: 0,
             state_bytes_transferred: 0,
+            migrated: Vec::new(),
         };
         self.events
             .push((now, RuntimeEvent::ReconfigFinished(report.clone())));
@@ -739,6 +743,7 @@ impl Runtime {
                 ));
                 if let Some(exec) = self.exec.active.as_mut() {
                     exec.state_bytes += bytes;
+                    exec.moved.push(name.clone());
                 }
                 Ok(Some(transit))
             }
@@ -902,12 +907,18 @@ impl Runtime {
         // keeps converging even when a target dies mid-plan.
         if let Some(p) = self.heal.repair_pending.remove(&exec.id) {
             if success {
-                self.complete_repair(&exec.id.to_string(), p.node, p.label, now);
+                let moved = exec.moved.clone();
+                self.complete_repair(&exec.id.to_string(), p.node, p.label, &moved, now);
             } else {
                 self.coverage
                     .record(DetectPhase::Suspected, p.label, PlanOutcome::Failed);
                 self.twin_note_mainline_failure(p.node);
             }
+        }
+        // Same for plans the negotiation control plane submitted
+        // (migration requests compiled from grant responses).
+        if self.negotiate.pending_plans.contains_key(&exec.id) {
+            self.note_negotiated_plan_finished(exec.id, success, now);
         }
         self.obs.tracer.span_end(exec.span, now.as_micros());
         let report = ReconfigReport {
@@ -920,6 +931,7 @@ impl Runtime {
             blackouts: exec.blackouts,
             messages_held: exec.messages_held,
             state_bytes_transferred: exec.state_bytes,
+            migrated: if success { exec.moved } else { Vec::new() },
         };
         self.events
             .push((now, RuntimeEvent::ReconfigFinished(report.clone())));

@@ -129,12 +129,12 @@ impl Runtime {
                             .iter()
                             .rev()
                             .find(|r| r.id == id)
-                            .map(|r| r.success);
+                            .map(|r| (r.success, r.migrated.clone()));
                         match sync {
-                            Some(true) => {
-                                self.complete_repair(&id.to_string(), node, label, now);
+                            Some((true, moved)) => {
+                                self.complete_repair(&id.to_string(), node, label, &moved, now);
                             }
-                            Some(false) => {
+                            Some((false, _)) => {
                                 // stays queued; next tick re-plans
                                 self.coverage.record(
                                     DetectPhase::Suspected,
@@ -162,7 +162,7 @@ impl Runtime {
                             now.as_micros(),
                         );
                         let _ = self.adapt_connector(&name, spec);
-                        self.complete_repair("-", node, label, now);
+                        self.complete_repair("-", node, label, &[], now);
                     }
                     Intercession::Notify(text) => {
                         self.events.push((now, RuntimeEvent::Notify(text)));
@@ -180,6 +180,7 @@ impl Runtime {
         plan: &str,
         node: NodeId,
         label: &'static str,
+        moved: &[String],
         now: SimTime,
     ) {
         self.coverage
@@ -196,6 +197,11 @@ impl Runtime {
         self.obs
             .audit
             .repair_completed(plan, &node.to_string(), &detail, now.as_micros());
+        // Heal/negotiate ordering: the repair just moved or revived this
+        // node's agents, so any grant issued against the old placement is
+        // stale — invalidate it now rather than throttling the repaired
+        // instances until the next negotiation tick.
+        self.invalidate_grants_on(node, plan, moved, now);
         self.twin_reconcile(node, label, mttr, now);
     }
 

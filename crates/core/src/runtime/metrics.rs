@@ -32,6 +32,10 @@ pub struct RuntimeMetrics {
     pub dropped_on_crash: u64,
     /// Deliveries re-sent under a connector retry policy.
     pub retries: u64,
+    /// Deliveries shed by the negotiation control plane's admission gate
+    /// (not counted in `dropped`: shedding is a deliberate grant-bounded
+    /// adaptation, not a loss).
+    pub shed: u64,
     /// Failure-detection latency: crash → suspicion (milliseconds).
     pub mttd_ms: Histogram,
     /// Repair latency: crash → repair plan committed (milliseconds).
@@ -54,6 +58,7 @@ pub(super) struct MetricHandles {
     pub(super) handler_errors: Counter,
     pub(super) dropped_on_crash: Counter,
     pub(super) retries: Counter,
+    pub(super) shed: Counter,
     pub(super) mttd: HistogramHandle,
     pub(super) mttr: HistogramHandle,
     pub(super) phi: HistogramHandle,
@@ -77,6 +82,7 @@ impl MetricHandles {
             handler_errors: obs.metrics.counter("runtime.handler_errors"),
             dropped_on_crash: obs.metrics.counter("runtime.dropped_on_crash"),
             retries: obs.metrics.counter("runtime.retries"),
+            shed: obs.metrics.counter("runtime.shed"),
             mttd: obs.metrics.histogram("heal.mttd_ms"),
             mttr: obs.metrics.histogram("heal.mttr_ms"),
             phi: obs.metrics.histogram("detector.phi"),

@@ -85,6 +85,7 @@ mod exec;
 mod heal_driver;
 mod meta;
 mod metrics;
+mod negotiate_driver;
 mod structure;
 #[cfg(test)]
 mod tests;
@@ -92,11 +93,13 @@ mod twin;
 mod validate;
 
 pub use metrics::RuntimeMetrics;
+pub use negotiate_driver::{AgentProfile, CoordinationMode, NegotiateConfig, TWIN_AGENT};
 pub use twin::{TwinConfig, TwinPrediction};
 
 use exec::ExecState;
 use heal_driver::HealState;
 use metrics::MetricHandles;
+use negotiate_driver::NegotiateState;
 use twin::TwinState;
 
 /// The sender name used for injected (external) workload messages.
@@ -210,6 +213,8 @@ enum TimerPurpose {
     },
     /// Periodic heartbeat emission + suspicion evaluation.
     DetectorTick,
+    /// Periodic resource-negotiation round (see [`negotiate_driver`]).
+    NegotiateTick,
     /// A backed-off redelivery of a dropped envelope.
     Retry {
         envelope: Box<Envelope>,
@@ -287,6 +292,8 @@ pub struct Runtime {
     heal: HealState,
     /// Digital-twin plan verification state (see [`twin`]).
     twin: TwinState,
+    /// Resource-negotiation control plane state (see [`negotiate_driver`]).
+    negotiate: NegotiateState,
     /// Adaptation-state-space odometer (see [`crate::coverage`]).
     coverage: AdaptationCoverage,
     events: Vec<(SimTime, RuntimeEvent)>,
@@ -340,6 +347,7 @@ impl Runtime {
             detector: None,
             heal: HealState::default(),
             twin: TwinState::default(),
+            negotiate: NegotiateState::default(),
             coverage: AdaptationCoverage::new(),
             events: Vec::new(),
             outbox: Vec::new(),
@@ -498,6 +506,7 @@ impl Runtime {
                 let _ = self.inject(&target, *message);
             }
             TimerPurpose::DetectorTick => self.on_detector_tick(now),
+            TimerPurpose::NegotiateTick => self.on_negotiate_tick(now),
             TimerPurpose::Retry { envelope } => self.resend(*envelope, now),
         }
     }
@@ -542,6 +551,7 @@ impl Runtime {
             handler_errors: self.m.handler_errors.get(),
             dropped_on_crash: self.m.dropped_on_crash.get(),
             retries: self.m.retries.get(),
+            shed: self.m.shed.get(),
             mttd_ms: self.m.mttd.snapshot(),
             mttr_ms: self.m.mttr.snapshot(),
         }

@@ -186,6 +186,7 @@ impl Runtime {
             raml: None,
             detector: self.detector.clone(),
             heal: self.heal.clone(),
+            negotiate: self.negotiate.clone(),
             coverage: AdaptationCoverage::new(),
             events: Vec::new(),
             outbox: Vec::new(),

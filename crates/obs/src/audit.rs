@@ -51,6 +51,15 @@ pub enum AuditKind {
     /// the matching [`AuditKind::TwinPredicted`] entry so prediction error
     /// is reconcilable from the log alone.
     TwinActual,
+    /// The negotiation coordinator issued a resource grant to an agent.
+    BudgetGranted,
+    /// The negotiation coordinator denied an agent's request; the record
+    /// carries the machine-readable reason ("every agent gets its floor or
+    /// an audited deny").
+    BudgetDenied,
+    /// An outstanding grant was invalidated and queued for renegotiation
+    /// (e.g. a repair plan committed mid-tick for the agent's host node).
+    BudgetRenegotiated,
 }
 
 impl AuditKind {
@@ -75,6 +84,9 @@ impl AuditKind {
             AuditKind::DroppedOnCrash => "dropped_on_crash",
             AuditKind::TwinPredicted => "twin_predicted",
             AuditKind::TwinActual => "twin_actual",
+            AuditKind::BudgetGranted => "budget_granted",
+            AuditKind::BudgetDenied => "budget_denied",
+            AuditKind::BudgetRenegotiated => "budget_renegotiated",
         }
     }
 }
@@ -236,6 +248,25 @@ impl AuditLog {
         self.append(at_us, AuditKind::TwinActual, plan, subject, detail);
     }
 
+    /// Records that negotiation epoch `plan` granted `subject` (an agent)
+    /// a budget; `detail` renders the granted vector and fraction.
+    pub fn budget_granted(&self, epoch: &str, subject: &str, detail: &str, at_us: u64) {
+        self.append(at_us, AuditKind::BudgetGranted, epoch, subject, detail);
+    }
+
+    /// Records that negotiation epoch `plan` denied `subject`'s request
+    /// for `reason` (e.g. `floor-unsatisfiable`, `host-suspected`).
+    pub fn budget_denied(&self, epoch: &str, subject: &str, reason: &str, at_us: u64) {
+        self.append(at_us, AuditKind::BudgetDenied, epoch, subject, reason);
+    }
+
+    /// Records that `subject`'s outstanding grant was invalidated before
+    /// its epoch ended; `detail` carries the trigger (e.g. the repair plan
+    /// id that committed mid-tick).
+    pub fn budget_renegotiated(&self, epoch: &str, subject: &str, detail: &str, at_us: u64) {
+        self.append(at_us, AuditKind::BudgetRenegotiated, epoch, subject, detail);
+    }
+
     /// Number of entries.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -379,6 +410,27 @@ mod tests {
         assert_eq!(AuditKind::TwinPredicted.label(), "twin_predicted");
         assert_eq!(AuditKind::TwinActual.label(), "twin_actual");
         assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn negotiation_kinds_round_trip() {
+        let log = AuditLog::new();
+        log.budget_granted("epoch-3", "svc", "cap=0.5 rate=40 fraction=0.66", 10);
+        log.budget_denied("epoch-3", "furnace", "floor-unsatisfiable", 10);
+        log.budget_renegotiated("epoch-3", "svc", "repair plan 7 committed", 25);
+        assert_eq!(log.of_kind(AuditKind::BudgetGranted)[0].subject, "svc");
+        assert_eq!(
+            log.of_kind(AuditKind::BudgetDenied)[0].outcome,
+            "floor-unsatisfiable"
+        );
+        assert_eq!(
+            log.of_kind(AuditKind::BudgetRenegotiated)[0].plan,
+            "epoch-3"
+        );
+        assert_eq!(AuditKind::BudgetGranted.label(), "budget_granted");
+        assert_eq!(AuditKind::BudgetDenied.label(), "budget_denied");
+        assert_eq!(AuditKind::BudgetRenegotiated.label(), "budget_renegotiated");
+        assert_eq!(log.len(), 3);
     }
 
     #[test]

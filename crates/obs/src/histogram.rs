@@ -176,6 +176,25 @@ impl Histogram {
         self.max
     }
 
+    /// Fraction of recorded observations at or below `threshold`, in
+    /// `[0, 1]`; `0.0` when empty. Resolution is one bucket (observations
+    /// are attributed by bucket midpoint), so the answer is within
+    /// [`Histogram::RELATIVE_ERROR`] of exact around the threshold —
+    /// deadline-goodput accounting, not an exact rank query.
+    #[must_use]
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut below = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 && bucket_value(i) <= threshold {
+                below += c;
+            }
+        }
+        below as f64 / self.count as f64
+    }
+
     /// Median (p50).
     #[must_use]
     pub fn p50(&self) -> f64 {

@@ -27,17 +27,28 @@
 //!   policy and once with digital-twin plan verification
 //!   (`aas-core`'s `Runtime::enable_twin`) choosing each repair, with
 //!   availability, MTTR and predicted-vs-actual error per seed.
+//! - [`negotiation`] — the E20 graceful-degradation harness: a 10×
+//!   overload trajectory run differentially (independent reactive loops
+//!   vs the GORNA negotiation control plane), goodput / availability /
+//!   Jain-fairness measurement, the negotiator mutation tier with its
+//!   budget / floor / freshness oracles, and the negotiation
+//!   adaptation-coverage sweep.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
 pub mod mutation;
+pub mod negotiation;
 pub mod trajectory;
 pub mod twin_corpus;
 
 pub use mutation::{
     coverage_sweep, CoverageReport, EngineReport, MutantVerdict, Mutation, ScenarioOutcome,
+};
+pub use negotiation::{
+    negotiation_coverage, run_differential, run_negotiation_mutants, DegradationRun,
+    DifferentialReport, NegotiationMutantVerdict, NegotiationMutationReport,
 };
 pub use trajectory::{
     LoadWave, MobilityWave, ScenarioSchedule, ScenarioSpec, StormTargets, StormWave,

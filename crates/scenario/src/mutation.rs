@@ -831,6 +831,31 @@ impl CoverageReport {
 /// empty node) and merges the runtime's adaptation-coverage odometer.
 #[must_use]
 pub fn coverage_sweep(seeds: &[u64]) -> CoverageReport {
+    report_from(coverage_sweep_odometer(seeds))
+}
+
+/// Renders a merged odometer as a [`CoverageReport`].
+#[must_use]
+pub fn report_from(merged: AdaptationCoverage) -> CoverageReport {
+    let rows = merged.export_rows();
+    let reachable = aas_core::coverage::reachable_cells().len();
+    let visited = rows
+        .iter()
+        .filter(|(_, count, reachable)| *reachable && *count > 0)
+        .count();
+    CoverageReport {
+        visited,
+        reachable,
+        percent: merged.percent_of_reachable(),
+        rows,
+    }
+}
+
+/// The raw merged odometer behind [`coverage_sweep`], so other tiers
+/// (e.g. the negotiation sweep) can fold their own cells in before
+/// rendering a combined report.
+#[must_use]
+pub fn coverage_sweep_odometer(seeds: &[u64]) -> AdaptationCoverage {
     let topo = harness_topology();
     let mut merged = AdaptationCoverage::new();
     for &seed in seeds {
@@ -850,18 +875,7 @@ pub fn coverage_sweep(seeds: &[u64]) -> CoverageReport {
             merged.merge(rt.adaptation_coverage());
         }
     }
-    let rows = merged.export_rows();
-    let reachable = aas_core::coverage::reachable_cells().len();
-    let visited = rows
-        .iter()
-        .filter(|(_, count, reachable)| *reachable && *count > 0)
-        .count();
-    CoverageReport {
-        visited,
-        reachable,
-        percent: merged.percent_of_reachable(),
-        rows,
-    }
+    merged
 }
 
 #[cfg(test)]

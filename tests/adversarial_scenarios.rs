@@ -113,7 +113,7 @@ fn coverage_fast_tier_meets_floor_and_exports_jsonl() {
         "adaptation coverage {:.3} below the fast-tier floor",
         cov.percent
     );
-    assert_eq!(cov.reachable, 20, "reachable-cell model changed size");
+    assert_eq!(cov.reachable, 25, "reachable-cell model changed size");
     let jsonl = cov.to_jsonl();
     let lines: Vec<&str> = jsonl.lines().collect();
     assert_eq!(lines.len(), cov.rows.len(), "one JSONL line per cell");
